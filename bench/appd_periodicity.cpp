@@ -1,0 +1,85 @@
+// Appendix D.1: periodicity of discovery traffic via DFT + autocorrelation
+// over (destination, protocol) groups. Paper: 88% of discovery-protocol
+// flows are periodic; 580 periodic groups, ~6.2 per device; §5.1 intervals:
+// mDNS 20-100 s, Google SSDP 20 s, Echo SSDP 2-3 h, Echo Lifx beacon 2 h.
+#include "bench_util.hpp"
+
+using namespace roomnet;
+using namespace roomnet::bench;
+
+int main() {
+  header("Appendix D.1", "discovery traffic periodicity (DFT+autocorr)");
+
+  // Long window to catch the 2-3 h cadences; timestamps only (no frames).
+  const SimTime window = SimTime::from_hours(12);
+  Lab lab(LabConfig{.seed = 42, .record_frames = false});
+  HybridClassifier classifier;
+
+  struct GroupKey {
+    MacAddress src;
+    std::uint32_t dst_ip;
+    ProtocolLabel protocol;
+    auto operator<=>(const GroupKey&) const = default;
+  };
+  std::map<GroupKey, std::vector<SimTime>> groups;
+  lab.network().add_packet_tap([&](SimTime at, const Packet& packet, BytesView) {
+    const ProtocolLabel label = classifier.classify_packet(packet);
+    const bool interesting =
+        is_discovery_protocol(label) || label == ProtocolLabel::kUnknown;
+    if (!interesting || !packet.ipv4) return;
+    groups[{packet.eth.src, packet.ipv4->dst.value(), label}].push_back(at);
+  });
+
+  lab.start_all();
+  lab.run_idle(window);
+
+  std::size_t periodic = 0, total = 0;
+  std::map<MacAddress, std::size_t> per_device;
+  std::vector<std::pair<double, GroupKey>> examples;
+  PeriodicityParams params;
+  params.bin_seconds = 5;
+  for (const auto& [key, events] : groups) {
+    if (events.size() < 4) continue;
+    ++total;
+    const auto result = detect_periodicity(events, window, params);
+    if (result.periodic) {
+      ++periodic;
+      ++per_device[key.src];
+      examples.push_back({result.period_seconds, key});
+    }
+  }
+
+  double avg_groups = 0;
+  for (const auto& [mac, count] : per_device)
+    avg_groups += static_cast<double>(count);
+  if (!per_device.empty()) avg_groups /= static_cast<double>(per_device.size());
+
+  std::printf("\n%-44s %9s %9s\n", "metric", "measured", "paper");
+  std::printf("%-44s %8.0f%% %9s\n", "discovery groups that are periodic",
+              total ? 100.0 * static_cast<double>(periodic) /
+                          static_cast<double>(total)
+                    : 0,
+              "88%");
+  std::printf("%-44s %9zu %9s\n", "periodic (dst, protocol) groups", periodic,
+              "580");
+  std::printf("%-44s %9.1f %9s\n", "periodic groups per device", avg_groups,
+              "6.2");
+
+  // Show detected cadences for the §5.1 marquee behaviors.
+  std::printf("\ndetected cadences (examples):\n");
+  const auto& registry = OuiRegistry::builtin();
+  std::set<std::string> shown;
+  std::sort(examples.begin(), examples.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [period, key] : examples) {
+    const std::string vendor = registry.vendor_of(key.src).value_or("?");
+    const std::string row = vendor + "/" + to_string(key.protocol);
+    if (!shown.insert(row).second) continue;
+    if (shown.size() > 14) break;
+    std::printf("  %-10s %-12s every %7.0f s\n", vendor.c_str(),
+                to_string(key.protocol).c_str(), period);
+  }
+  std::printf("\npaper cadences: Google SSDP 20 s; mDNS 20-100 s; Echo SSDP "
+              "2-3 h; Echo 56700 beacon 2 h.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Shared helpers for the reproduction benches: each bench binary rebuilds
+// one table or figure from the paper and prints paper-vs-measured rows.
+#pragma once
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "core/roomnet.hpp"
+
+namespace roomnet::bench {
+
+inline void header(const std::string& artifact, const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", artifact.c_str(), title.c_str());
+  std::printf("(roomnet reproduction; 'paper' columns quote IMC'23 values)\n");
+  std::printf("==============================================================\n");
+}
+
+/// Lab booted and idled for `idle` virtual time, with a streaming decoded
+/// capture. Wall-clock cost scales with idle; 2 h ≈ 10 s on a laptop core.
+struct CapturedLab {
+  Lab lab;
+  std::vector<std::pair<SimTime, Packet>> decoded;
+  FlowTable flows;
+  std::vector<Packet> packets;
+  std::set<MacAddress> population;
+
+  explicit CapturedLab(SimTime idle, std::uint64_t seed = 42,
+                       int interactions = 0)
+      : lab(LabConfig{.seed = seed, .record_frames = false}) {
+    const LocalFilter filter;
+    lab.network().add_packet_tap(
+        [this, filter](SimTime at, const Packet& packet, BytesView) {
+          if (!filter.matches(packet)) return;
+          decoded.emplace_back(at, packet);
+          flows.add(at, packet);
+          packets.push_back(packet);
+        });
+    for (const auto& device : lab.devices()) population.insert(device->mac());
+    lab.start_all();
+    lab.run_idle(idle);
+    if (interactions > 0) lab.run_interactions(interactions);
+  }
+};
+
+}  // namespace roomnet::bench

@@ -1,0 +1,67 @@
+// Table 2: household fingerprintability via identifiers exposed in mDNS and
+// SSDP payloads of the crowdsourced dataset.
+#include "bench_util.hpp"
+
+using namespace roomnet;
+using namespace roomnet::bench;
+
+int main() {
+  header("Table 2", "household fingerprintability entropy analysis");
+
+  Rng rng(2023);
+  const InspectorDataset dataset = generate_inspector_dataset(rng);
+  std::printf("\ndataset: %zu devices, %zu households, %zu products, %zu "
+              "vendors\n(paper: 12,669 devices, 3,860 households, 264 "
+              "products, 165 vendors)\n",
+              dataset.devices.size(), dataset.household_count,
+              dataset.products.size(), dataset.vendors().size());
+
+  const FingerprintAnalysis analysis = fingerprint_households(dataset);
+
+  struct PaperRow {
+    const char* identifiers;
+    std::size_t households;
+    double unique_pct;
+    double entropy;
+  };
+  const std::map<std::string, PaperRow> paper = {
+      {"name", {"name", 2, 50.0, 3.4}},
+      {"UUID", {"UUID", 2814, 94.2, 8.9}},
+      {"MAC", {"MAC", 572, 94.4, 7.8}},
+      {"name+UUID", {"name, UUID", 22, 81.8, 12.3}},
+      {"UUID+MAC", {"UUID, MAC", 1182, 95.6, 16.7}},
+      {"name+UUID+MAC", {"name, UUID, MAC", 2, 100.0, 20.1}},
+  };
+
+  std::printf("\n%-3s %-16s %6s %6s %7s | %9s %9s | %8s %8s | %7s %7s\n", "#",
+              "identifiers", "Pdt", "Vdr", "Dev", "Hse(m)", "Hse(p)",
+              "uniq%(m)", "uniq%(p)", "Ent(m)", "Ent(p)");
+  for (const auto& row : analysis.rows) {
+    std::string key, label;
+    if (row.types.name) { key += key.empty() ? "name" : "+name"; }
+    if (row.types.uuid) { key += key.empty() ? "UUID" : "+UUID"; }
+    if (row.types.mac) { key += key.empty() ? "MAC" : "+MAC"; }
+    label = key.empty() ? "(none)" : key;
+    const auto it = paper.find(key);
+    if (it != paper.end()) {
+      std::printf("%-3d %-16s %6zu %6zu %7zu | %9zu %9zu | %7.1f%% %7.1f%% | "
+                  "%7.1f %7.1f\n",
+                  row.type_count, label.c_str(), row.products, row.vendors,
+                  row.devices, row.households, it->second.households,
+                  row.unique_pct(), it->second.unique_pct, row.entropy_bits,
+                  it->second.entropy);
+    } else {
+      std::printf("%-3d %-16s %6zu %6zu %7zu | %9zu %9s | %7.1f%% %8s | %7.1f "
+                  "%7s\n",
+                  row.type_count, label.c_str(), row.products, row.vendors,
+                  row.devices, row.households, "-", row.unique_pct(), "-",
+                  row.entropy_bits, "-");
+    }
+  }
+  std::printf("\n(m)=measured, (p)=paper. Reproduction target is the shape: "
+              "UUID-only dominant,\nuniqueness >90%% but <100%%, entropy "
+              "rising with combination richness, the single\nall-three "
+              "product (Roku-like, MAC embedded in its UUIDs) fingerprinting "
+              "100%% of its households.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Household fingerprinting on crowdsourced-style data (paper §6.3):
+// generates an IoT-Inspector-like dataset of ~3,860 households, extracts
+// names/UUIDs/MACs from each device's mDNS/SSDP payloads, and prints the
+// Table 2 entropy analysis.
+//
+//   ./examples/household_fingerprint [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/roomnet.hpp"
+
+using namespace roomnet;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2023;
+
+  Rng rng(seed);
+  const InspectorDataset dataset = generate_inspector_dataset(rng);
+  std::printf("dataset: %zu devices across %zu households, %zu products, "
+              "%zu vendors\n",
+              dataset.devices.size(), dataset.household_count,
+              dataset.products.size(), dataset.vendors().size());
+
+  const FingerprintAnalysis analysis = fingerprint_households(dataset);
+  std::printf("\n%-3s %-14s %6s %6s %7s %7s %10s %6s\n", "#", "types", "Pdt",
+              "Vdr", "Dev", "Hse", "unique%", "Ent");
+  for (const auto& row : analysis.rows) {
+    std::string types;
+    if (row.types.name) types += "name ";
+    if (row.types.uuid) types += "UUID ";
+    if (row.types.mac) types += "MAC ";
+    if (types.empty()) types = "(none)";
+    std::printf("%-3d %-14s %6zu %6zu %7zu %7zu %9.1f%% %6.1f\n",
+                row.type_count, types.c_str(), row.products, row.vendors,
+                row.devices, row.households, row.unique_pct(),
+                row.entropy_bits);
+  }
+
+  // Show one concrete fingerprint: the all-three-identifier household.
+  for (const auto& device : dataset.devices) {
+    const ProductProfile& product = dataset.product_of(device);
+    if (product.exposure.count() != 3) continue;
+    std::printf("\nexample all-three-identifiers device (product %s %s):\n",
+                product.vendor.c_str(), product.category.c_str());
+    for (const auto& id : device_identifiers(device))
+      std::printf("  %-5s %s\n", to_string(id.type).c_str(), id.value.c_str());
+    break;
+  }
+
+  // And how well identity inference (Appendix E analog) recovers labels.
+  const DeviceInference inference(dataset);
+  const auto accuracy = inference.evaluate(dataset);
+  std::printf("\ndevice-identity inference: coverage %.1f%%, vendor accuracy "
+              "%.1f%%\n",
+              100 * accuracy.coverage(), 100 * accuracy.vendor_accuracy());
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Spyware/SDK audit (paper §6.1-§6.2): runs the named case-study apps —
+// Lucky Time (innosdk), CNN (AppDynamics), Simple Speedcheck (Umlaut) and
+// the Alexa/Kasa/Blueair companions — against the lab with AppCensus-style
+// instrumentation, then prints what each exfiltrated, to where, and which
+// acquisitions bypassed the Android permission model.
+//
+//   ./examples/spyware_audit [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/roomnet.hpp"
+
+using namespace roomnet;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+
+  Lab lab(LabConfig{.seed = seed, .record_frames = false});
+  lab.start_all();
+  lab.run_for(SimTime::from_minutes(10));
+
+  Rng rng(seed);
+  const AppDataset dataset = generate_app_dataset(rng);
+  AppRunner runner(lab);
+
+  const char* suspects[] = {
+      "com.luckyapp.winner",      "com.cnn.mobile.android.phone",
+      "org.speedspot.speedspotspeedtest", "com.amazon.dee.app",
+      "com.tplink.kasa_android",  "com.blueair.android",
+      "com.fancygames.puzzle"};
+
+  std::vector<AppRunRecord> records;
+  for (const char* package : suspects) {
+    const AppSpec* spec = dataset.find(package);
+    if (spec == nullptr) continue;
+    std::printf("running %s ...\n", package);
+    records.push_back(runner.run(*spec, SimTime::from_seconds(25)));
+  }
+
+  const auto findings = detect_exfiltration(records);
+  std::printf("\n%-34s %-20s %-26s %-18s %5s  %s\n", "app", "sdk", "endpoint",
+              "data", "count", "bypass");
+  for (const auto& finding : findings) {
+    std::printf("%-34s %-20s %-26s %-18s %5zu  %s\n", finding.package.c_str(),
+                to_string(finding.sdk).c_str(), finding.endpoint.c_str(),
+                to_string(finding.data).c_str(), finding.value_count,
+                finding.permission_bypass ? "YES" : "-");
+  }
+
+  // Show one decrypted payload (what the MITM instrumentation sees).
+  for (const auto& record : records) {
+    if (record.spec.package != "com.luckyapp.winner") continue;
+    for (const auto& upload : record.uploads) {
+      if (upload.sdk != SdkId::kInnoSdk) continue;
+      std::printf("\ninnosdk upload to %s (decrypted):\n%.600s%s\n",
+                  upload.endpoint.c_str(), upload.payload_json.c_str(),
+                  upload.payload_json.size() > 600 ? "..." : "");
+    }
+  }
+
+  const AppCampaignStats stats = summarize_campaign(records);
+  std::printf("\n%zu/%zu audited apps scan the local network; %zu exhibit "
+              "permission bypasses\n",
+              stats.apps_scanning_lan, stats.total_apps,
+              stats.apps_with_permission_bypass);
+
+  // The §2 punchline: one harvested router BSSID + a wardriving database =
+  // the household's street address.
+  for (const auto& record : records) {
+    for (const auto& access : record.accesses) {
+      if (access.data != SensitiveData::kRouterBssid) continue;
+      const auto bssid = MacAddress::parse(access.value);
+      if (!bssid) continue;
+      Rng geo_rng(1234);
+      const GeoPoint home{42.337681, -71.087036};
+      const GeocodeIndex wigle =
+          build_wardriving_index(geo_rng, 200000, *bssid, home);
+      const auto located = wigle.lookup(*bssid);
+      if (located) {
+        std::printf("\ngeolocation via wardriving DB: %s uploaded BSSID %s "
+                    "-> %.6f,%.6f (%.0f m from the true home)\n",
+                    record.spec.package.c_str(), access.value.c_str(),
+                    located->latitude, located->longitude,
+                    located->distance_m(home));
+      }
+      return 0;
+    }
+  }
+  return 0;
+}

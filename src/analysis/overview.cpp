@@ -1,0 +1,82 @@
+#include "analysis/overview.hpp"
+
+#include <algorithm>
+
+namespace roomnet {
+
+std::size_t ProtocolUsage::devices_using(
+    ProtocolLabel label, const std::set<MacAddress>& population) const {
+  std::size_t count = 0;
+  for (const auto& [mac, labels] : by_device) {
+    if (population.count(mac) == 0) continue;
+    count += labels.count(label);
+  }
+  return count;
+}
+
+std::set<ProtocolLabel> ProtocolUsage::all_labels() const {
+  std::set<ProtocolLabel> out;
+  for (const auto& [mac, labels] : by_device) out.insert(labels.begin(), labels.end());
+  return out;
+}
+
+ProtocolUsage protocol_usage(
+    const std::vector<std::pair<SimTime, Packet>>& capture) {
+  HybridClassifier classifier;
+  ProtocolUsage usage;
+  for (const auto& [at, packet] : capture) {
+    const ProtocolLabel label = classifier.classify_packet(packet);
+    usage.by_device[packet.eth.src].insert(label);
+  }
+  return usage;
+}
+
+std::set<MacAddress> CommGraph::connected_nodes() const {
+  std::set<MacAddress> nodes;
+  for (const auto& edge : edges) {
+    nodes.insert(edge.a);
+    nodes.insert(edge.b);
+  }
+  return nodes;
+}
+
+const CommGraph::Edge* CommGraph::find(MacAddress a, MacAddress b) const {
+  for (const auto& edge : edges) {
+    if ((edge.a == a && edge.b == b) || (edge.a == b && edge.b == a))
+      return &edge;
+  }
+  return nullptr;
+}
+
+CommGraph build_comm_graph(
+    const std::vector<std::pair<SimTime, Packet>>& capture,
+    const std::set<MacAddress>& population) {
+  HybridClassifier classifier;
+  std::map<std::pair<MacAddress, MacAddress>, CommGraph::Edge> edges;
+  for (const auto& [at, packet] : capture) {
+    if (packet.eth.dst.is_multicast()) continue;  // Figure 1 excludes these
+    if (!packet.has_transport()) continue;
+    if (population.count(packet.eth.src) == 0 ||
+        population.count(packet.eth.dst) == 0)
+      continue;
+    // Figure 1 shows "neither multicast- and broadcast-discovery protocols"
+    // — unicast discovery responses are part of those exchanges and are
+    // excluded too.
+    if (is_discovery_protocol(classifier.classify_packet(packet))) continue;
+    MacAddress a = packet.eth.src;
+    MacAddress b = packet.eth.dst;
+    if (b < a) std::swap(a, b);
+    auto& edge = edges[{a, b}];
+    edge.a = a;
+    edge.b = b;
+    edge.tcp = edge.tcp || packet.tcp.has_value();
+    edge.udp = edge.udp || packet.udp.has_value();
+    ++edge.packets;
+  }
+  CommGraph graph;
+  graph.edges.reserve(edges.size());
+  for (auto& [key, edge] : edges) graph.edges.push_back(edge);
+  return graph;
+}
+
+}  // namespace roomnet

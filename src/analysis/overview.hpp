@@ -1,0 +1,50 @@
+// Aggregations behind Figures 1, 2 and 4: per-device protocol usage and the
+// device-to-device transport-layer communication graph with vendor clusters.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "classify/classifier.hpp"
+#include "netcore/packet.hpp"
+#include "netcore/time.hpp"
+
+namespace roomnet {
+
+/// Which protocols each source MAC was observed *using* (sending).
+struct ProtocolUsage {
+  std::map<MacAddress, std::set<ProtocolLabel>> by_device;
+
+  /// Devices using `label`, restricted to `population` (e.g. the 93 testbed
+  /// MACs, so router/phone traffic does not skew percentages).
+  [[nodiscard]] std::size_t devices_using(
+      ProtocolLabel label, const std::set<MacAddress>& population) const;
+  [[nodiscard]] std::set<ProtocolLabel> all_labels() const;
+};
+
+ProtocolUsage protocol_usage(
+    const std::vector<std::pair<SimTime, Packet>>& capture);
+
+/// Figure 1/4: unicast device-to-device edges (multicast/broadcast and
+/// router/phone endpoints excluded by the caller via `population`).
+struct CommGraph {
+  struct Edge {
+    MacAddress a;
+    MacAddress b;
+    bool tcp = false;
+    bool udp = false;
+    std::uint64_t packets = 0;
+  };
+  std::vector<Edge> edges;
+
+  [[nodiscard]] std::set<MacAddress> connected_nodes() const;
+  [[nodiscard]] const Edge* find(MacAddress a, MacAddress b) const;
+};
+
+CommGraph build_comm_graph(
+    const std::vector<std::pair<SimTime, Packet>>& capture,
+    const std::set<MacAddress>& population);
+
+}  // namespace roomnet

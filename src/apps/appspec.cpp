@@ -1,0 +1,251 @@
+#include "apps/appspec.hpp"
+
+#include <algorithm>
+
+namespace roomnet {
+
+std::string to_string(SdkId sdk) {
+  switch (sdk) {
+    case SdkId::kNone: return "none";
+    case SdkId::kInnoSdk: return "innosdk";
+    case SdkId::kAppDynamics: return "AppDynamics";
+    case SdkId::kUmlautInsightCore: return "Umlaut insightCore";
+    case SdkId::kMyTracker: return "MyTracker";
+    case SdkId::kAmplitude: return "Amplitude";
+    case SdkId::kTuyaSdk: return "TuyaSDK";
+  }
+  return "?";
+}
+
+std::string sdk_endpoint(SdkId sdk) {
+  switch (sdk) {
+    case SdkId::kInnoSdk: return "gw.innotechworld.com";
+    case SdkId::kAppDynamics: return "events.claspws.tv";
+    case SdkId::kUmlautInsightCore: return "tacs.c0nnectthed0ts.com";
+    case SdkId::kMyTracker: return "tracker.my.com";
+    case SdkId::kAmplitude: return "api.amplitude.com";
+    case SdkId::kTuyaSdk: return "a1.tuyaus.com";
+    case SdkId::kNone: return "";
+  }
+  return "";
+}
+
+std::size_t AppDataset::iot_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(apps.begin(), apps.end(),
+                    [](const AppSpec& a) { return a.iot_companion; }));
+}
+
+std::size_t AppDataset::regular_count() const {
+  return apps.size() - iot_count();
+}
+
+const AppSpec* AppDataset::find(std::string_view package) const {
+  for (const auto& app : apps)
+    if (app.package == package) return &app;
+  return nullptr;
+}
+
+namespace {
+
+AppSpec base_app(std::string package, bool iot) {
+  AppSpec app;
+  app.package = std::move(package);
+  app.iot_companion = iot;
+  app.permissions = {AndroidPermission::kInternet,
+                     AndroidPermission::kAccessNetworkState};
+  return app;
+}
+
+/// The named case-study apps of §6.1/§6.2, with their documented behavior.
+std::vector<AppSpec> case_study_apps() {
+  std::vector<AppSpec> apps;
+
+  {  // Amazon Alexa companion: collects device MACs incl. unpaired Meross
+     // plug, TP-Link IDs, Philips Bridge ID.
+    AppSpec a = base_app("com.amazon.dee.app", /*iot=*/true);
+    a.permissions.push_back(AndroidPermission::kChangeWifiMulticastState);
+    a.permissions.push_back(AndroidPermission::kAccessFineLocation);
+    a.scans_mdns = true;
+    a.scans_ssdp = true;
+    a.uses_local_tls = true;
+    a.uses_tplink = true;
+    a.uploads_device_macs = true;
+    a.first_party_endpoint = "device-metrics-us.amazon.com";
+    apps.push_back(std::move(a));
+  }
+  {  // TP-Link Kasa: uploads plug/bulb IDs + OEM ID + geolocation.
+    AppSpec a = base_app("com.tplink.kasa_android", true);
+    a.permissions.push_back(AndroidPermission::kAccessFineLocation);
+    a.uses_tplink = true;
+    a.uploads_geolocation_with_ids = true;
+    a.first_party_endpoint = "wap.tplinkcloud.com";
+    apps.push_back(std::move(a));
+  }
+  {  // Tuya Smart: TuyaSDK; Matter mDNS advertisement; MAC relays to Tuya.
+    AppSpec a = base_app("com.tuya.smartlife", true);
+    a.permissions.push_back(AndroidPermission::kChangeWifiMulticastState);
+    a.sdks = {SdkId::kTuyaSdk};
+    a.scans_mdns = true;
+    a.uploads_device_macs = true;
+    a.first_party_endpoint = "a1.tuyaus.com";
+    apps.push_back(std::move(a));
+  }
+  {  // Google Home / Chromecast app: receives Wi-Fi AP MAC from Nest Hub.
+    AppSpec a = base_app("com.google.android.apps.chromecast.app", true);
+    a.permissions.push_back(AndroidPermission::kChangeWifiMulticastState);
+    a.scans_mdns = true;
+    a.scans_ssdp = true;
+    a.uses_local_tls = true;
+    a.uploads_router_bssid = true;
+    a.first_party_endpoint = "clients3.google.com";
+    apps.push_back(std::move(a));
+  }
+  {  // Blueair companion: purifier MAC + coarse geolocation + AAID (§6.1).
+    AppSpec a = base_app("com.blueair.android", true);
+    a.permissions.push_back(AndroidPermission::kAccessCoarseLocation);
+    a.scans_mdns = true;
+    a.uploads_device_macs = true;
+    a.uploads_geolocation_with_ids = true;
+    a.first_party_endpoint = "api.blueair.io";
+    apps.push_back(std::move(a));
+  }
+  {  // Philips Hue: relays bridge ID over Amplitude.
+    AppSpec a = base_app("com.philips.lighting.hue2", true);
+    a.scans_mdns = true;
+    a.scans_ssdp = true;
+    a.sdks = {SdkId::kAmplitude};
+    a.uploads_device_macs = true;
+    a.first_party_endpoint = "api.meethue.com";
+    apps.push_back(std::move(a));
+  }
+  {  // CNN v6.18.3: AppDynamics tracks UPnP descriptors while casting (§6.2).
+    AppSpec a = base_app("com.cnn.mobile.android.phone", false);
+    a.sdks = {SdkId::kAppDynamics};
+    a.scans_ssdp = true;
+    a.uploads_router_ssid = true;  // base64 SSID in claspws event URLs
+    a.uploads_device_list = true;
+    a.first_party_endpoint = "data.cnn.com";
+    apps.push_back(std::move(a));
+  }
+  {  // Lucky Time: innosdk UDP sweep of 192.168.0.0/24 + NetBIOS (§6.2).
+    AppSpec a = base_app("com.luckyapp.winner", false);
+    a.sdks = {SdkId::kInnoSdk};
+    a.scans_netbios = true;
+    a.harvests_arp = true;
+    a.uploads_device_macs = true;
+    a.uploads_device_list = true;
+    apps.push_back(std::move(a));
+  }
+  {  // Simple Speedcheck: Umlaut insightCore SSDP IGD discovery (§6.2).
+    AppSpec a = base_app("org.speedspot.speedspotspeedtest", false);
+    a.sdks = {SdkId::kUmlautInsightCore};
+    a.scans_ssdp = true;
+    a.uploads_device_list = true;
+    a.uploads_geolocation_with_ids = true;
+    apps.push_back(std::move(a));
+  }
+  {  // Same-developer non-IoT apps scanning BSSIDs for MyTracker (§6.1).
+    AppSpec a = base_app("com.fancygames.puzzle", false);
+    a.sdks = {SdkId::kMyTracker};
+    a.uploads_router_bssid = true;
+    a.uploads_wifi_mac = true;
+    apps.push_back(std::move(a));
+  }
+  {  // Device Finder: NetBIOS LAN lister (§4.3).
+    AppSpec a = base_app("com.pzolee.networkscanner", false);
+    a.scans_netbios = true;
+    a.harvests_arp = true;
+    a.uploads_device_list = false;  // diagnostic use, local only
+    apps.push_back(std::move(a));
+  }
+  {  // Network Scanner (§4.3).
+    AppSpec a = base_app("com.myprog.netscan", false);
+    a.scans_netbios = true;
+    a.harvests_arp = true;
+    apps.push_back(std::move(a));
+  }
+  return apps;
+}
+
+}  // namespace
+
+AppDataset generate_app_dataset(Rng& rng, int iot_apps, int regular_apps) {
+  AppDataset dataset;
+  dataset.apps = case_study_apps();
+  const int named_iot = static_cast<int>(std::count_if(
+      dataset.apps.begin(), dataset.apps.end(),
+      [](const AppSpec& a) { return a.iot_companion; }));
+  const int named_regular = static_cast<int>(dataset.apps.size()) - named_iot;
+
+  // Quotas for the remaining population (computed so dataset-wide rates land
+  // on the §4.3/§6.1 numbers over 2,335 apps).
+  const int total = iot_apps + regular_apps;
+  int mdns_quota = total * 6 / 100;       // 6.0%
+  int ssdp_quota = total * 4 / 100;       // 4.0%
+  int netbios_quota = 10;                 // exactly 10 apps (§6.1)
+  int tls_quota = total / 4;              // 25%
+  int router_ssid_quota = 36;
+  int router_bssid_quota = 28;
+  int wifi_mac_quota = 15;
+  int device_mac_quota = 6;  // six IoT apps relay device MACs (§6.1)
+
+  const auto consume = [](int& quota) {
+    if (quota <= 0) return false;
+    --quota;
+    return true;
+  };
+  for (const auto& app : dataset.apps) {
+    if (app.scans_mdns) --mdns_quota;
+    if (app.scans_ssdp) --ssdp_quota;
+    if (app.scans_netbios) --netbios_quota;
+    if (app.uses_local_tls) --tls_quota;
+    if (app.uploads_router_ssid) --router_ssid_quota;
+    if (app.uploads_router_bssid) --router_bssid_quota;
+    if (app.uploads_wifi_mac) --wifi_mac_quota;
+    if (app.uploads_device_macs && app.iot_companion) --device_mac_quota;
+  }
+
+  for (int i = named_iot; i < iot_apps; ++i) {
+    AppSpec app = base_app("com.iot.companion" + std::to_string(i), true);
+    app.permissions.push_back(AndroidPermission::kChangeWifiMulticastState);
+    // Companion apps need discovery to work (§6.1: "the use of these
+    // discovery protocols is required to deliver their service").
+    if (rng.chance(0.35) && consume(mdns_quota)) app.scans_mdns = true;
+    if (rng.chance(0.25) && consume(ssdp_quota)) app.scans_ssdp = true;
+    if (rng.chance(0.55) && consume(tls_quota)) app.uses_local_tls = true;
+    if (rng.chance(0.08)) app.uses_tplink = true;
+    if ((app.scans_mdns || app.scans_ssdp) && consume(device_mac_quota))
+      app.uploads_device_macs = true;
+    if (consume(router_ssid_quota)) app.uploads_router_ssid = true;
+    if (rng.chance(0.5) && consume(router_bssid_quota))
+      app.uploads_router_bssid = true;
+    if (rng.chance(0.3) && consume(wifi_mac_quota)) app.uploads_wifi_mac = true;
+    if (rng.chance(0.2)) app.sdks.push_back(SdkId::kAmplitude);
+    app.first_party_endpoint = "api.iotvendor" + std::to_string(i % 40) + ".com";
+    dataset.apps.push_back(std::move(app));
+  }
+  for (int i = named_regular; i < regular_apps; ++i) {
+    AppSpec app = base_app("com.regular.app" + std::to_string(i), false);
+    if (rng.chance(0.02) && consume(mdns_quota)) {
+      app.scans_mdns = true;
+      app.permissions.push_back(AndroidPermission::kChangeWifiMulticastState);
+    }
+    if (rng.chance(0.015) && consume(ssdp_quota)) app.scans_ssdp = true;
+    if (rng.chance(0.01) && consume(netbios_quota)) {
+      app.scans_netbios = true;
+      if (rng.chance(0.3)) app.harvests_arp = true;
+    }
+    if (rng.chance(0.22) && consume(tls_quota)) app.uses_local_tls = true;
+    if (rng.chance(0.02) && consume(router_ssid_quota))
+      app.uploads_router_ssid = true;
+    if (rng.chance(0.015) && consume(router_bssid_quota))
+      app.uploads_router_bssid = true;
+    if (rng.chance(0.01) && consume(wifi_mac_quota)) app.uploads_wifi_mac = true;
+    app.first_party_endpoint = "cdn.app" + std::to_string(i % 100) + ".net";
+    dataset.apps.push_back(std::move(app));
+  }
+  return dataset;
+}
+
+}  // namespace roomnet

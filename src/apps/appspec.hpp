@@ -1,0 +1,74 @@
+// App dataset model and generator: 2,335 Android apps (987 IoT companion +
+// 1,348 regular, §3.2) with local-network behaviors calibrated to §4.3/§6:
+// mDNS 6.0%, SSDP 4.0%, NetBIOS 0.5% (10 apps, 3 with ARP harvesting),
+// local TLS 25%; 6 IoT apps relaying device MACs; 28/36/15 apps uploading
+// router MAC / SSID / Wi-Fi MAC; plus the named case-study apps of §6.2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/permissions.hpp"
+#include "netcore/rng.hpp"
+
+namespace roomnet {
+
+enum class SdkId {
+  kNone,
+  kInnoSdk,            // NetBIOS /24 sweeps -> gw.innotechworld.com
+  kAppDynamics,        // UPnP descriptor tracking -> events.claspws.tv
+  kUmlautInsightCore,  // SSDP IGD discovery -> tacs.c0nnectthed0ts.com
+  kMyTracker,          // Wi-Fi BSSID scans -> tracker.my.com
+  kAmplitude,          // analytics sink for companion apps
+  kTuyaSdk,            // Tuya platform uploads
+};
+
+std::string to_string(SdkId sdk);
+/// Cloud endpoint the SDK phones home to.
+std::string sdk_endpoint(SdkId sdk);
+
+enum class MobilePlatform { kAndroid, kIos };
+
+struct AppSpec {
+  std::string package;
+  bool iot_companion = false;
+  MobilePlatform platform = MobilePlatform::kAndroid;
+  int android_version = 9;  // the instrumented phone runs Android 9 (§3.2)
+  /// Only meaningful on iOS: the §2.1 gatekeepers for local traffic.
+  IosEntitlements ios;
+  std::vector<AndroidPermission> permissions{AndroidPermission::kInternet};
+  std::vector<SdkId> sdks;
+
+  // Local-network behaviors.
+  bool scans_mdns = false;
+  bool scans_ssdp = false;
+  bool scans_netbios = false;  // innosdk-style /24 sweep
+  bool harvests_arp = false;   // reads MACs via libarp.so
+  bool uses_local_tls = false;
+  bool uses_tplink = false;
+
+  // Exfiltration behaviors (first party unless an SDK drives them).
+  bool uploads_device_macs = false;
+  bool uploads_router_ssid = false;
+  bool uploads_router_bssid = false;
+  bool uploads_wifi_mac = false;
+  bool uploads_device_list = false;
+  bool uploads_geolocation_with_ids = false;  // Blueair-style AAID+geo link
+  std::string first_party_endpoint;  // where the app's own uploads go
+};
+
+struct AppDataset {
+  std::vector<AppSpec> apps;
+
+  [[nodiscard]] std::size_t iot_count() const;
+  [[nodiscard]] std::size_t regular_count() const;
+  [[nodiscard]] const AppSpec* find(std::string_view package) const;
+};
+
+/// Deterministic dataset with the paper's marginals. Counts are exact for
+/// the named case studies and binomial-free (computed from fixed quotas) for
+/// the rates.
+AppDataset generate_app_dataset(Rng& rng, int iot_apps = 987,
+                                int regular_apps = 1348);
+
+}  // namespace roomnet

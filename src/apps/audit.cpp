@@ -1,0 +1,89 @@
+#include "apps/audit.hpp"
+
+#include <algorithm>
+
+namespace roomnet {
+
+std::vector<ExfiltrationFinding> detect_exfiltration(
+    const std::vector<AppRunRecord>& records) {
+  std::vector<ExfiltrationFinding> findings;
+  for (const auto& record : records) {
+    for (const auto& upload : record.uploads) {
+      for (const SensitiveData type : upload.contents) {
+        ExfiltrationFinding finding;
+        finding.package = record.spec.package;
+        finding.sdk = upload.sdk;
+        finding.endpoint = upload.endpoint;
+        finding.data = type;
+        // Count distinct uploaded values by scanning the payload for the
+        // data key then counting array entries (cheap, format is ours).
+        const std::string key = "\"" + to_string(type) + "\":[";
+        const auto pos = upload.payload_json.find(key);
+        if (pos != std::string::npos) {
+          const auto end = upload.payload_json.find(']', pos);
+          finding.value_count = 1 + static_cast<std::size_t>(std::count(
+              upload.payload_json.begin() + static_cast<std::ptrdiff_t>(pos),
+              upload.payload_json.begin() + static_cast<std::ptrdiff_t>(end),
+              ','));
+        }
+        // Bypass: an access of this type happened via side channel while the
+        // app lacks the permission the official API demands.
+        for (const auto& access : record.accesses) {
+          if (access.data != type) continue;
+          if (access.via_side_channel && access.required &&
+              !access.permission_held) {
+            finding.permission_bypass = true;
+            break;
+          }
+        }
+        findings.push_back(std::move(finding));
+      }
+    }
+  }
+  return findings;
+}
+
+AppCampaignStats summarize_campaign(const std::vector<AppRunRecord>& records) {
+  AppCampaignStats stats;
+  stats.total_apps = records.size();
+  for (const auto& record : records) {
+    const auto& spec = record.spec;
+    const bool scans =
+        spec.scans_mdns || spec.scans_ssdp || spec.scans_netbios ||
+        spec.uses_tplink || spec.harvests_arp;
+    stats.apps_scanning_lan += scans;
+    stats.apps_mdns += spec.scans_mdns;
+    stats.apps_ssdp += spec.scans_ssdp;
+    stats.apps_netbios += spec.scans_netbios;
+    stats.apps_local_tls += spec.uses_local_tls;
+
+    bool uploaded_device_macs = false;
+    bool uploaded_router_ssid = false;
+    bool uploaded_router_bssid = false;
+    bool uploaded_wifi_mac = false;
+    bool bypass = false;
+    for (const auto& upload : record.uploads) {
+      if (upload.sdk != SdkId::kNone) ++stats.uploads_per_sdk[upload.sdk];
+      for (const SensitiveData type : upload.contents) {
+        uploaded_device_macs |= type == SensitiveData::kDeviceMac;
+        uploaded_router_ssid |= type == SensitiveData::kRouterSsid;
+        uploaded_router_bssid |= type == SensitiveData::kRouterBssid;
+        uploaded_wifi_mac |= type == SensitiveData::kWifiMac;
+      }
+    }
+    for (const auto& access : record.accesses) {
+      bypass |= access.via_side_channel && access.required &&
+                !access.permission_held;
+    }
+    stats.apps_uploading_device_macs += uploaded_device_macs;
+    stats.iot_apps_uploading_device_macs +=
+        uploaded_device_macs && spec.iot_companion;
+    stats.apps_uploading_router_ssid += uploaded_router_ssid;
+    stats.apps_uploading_router_bssid += uploaded_router_bssid;
+    stats.apps_uploading_wifi_mac += uploaded_wifi_mac;
+    stats.apps_with_permission_bypass += bypass;
+  }
+  return stats;
+}
+
+}  // namespace roomnet

@@ -1,0 +1,54 @@
+// Post-run analysis of app instrumentation records (§6.1/§6.2): which apps
+// exfiltrated which local-network data to which endpoints, which of those
+// acquisitions bypassed the permission model, and the aggregate statistics
+// the paper reports (9% of apps scan the home network; 6 IoT apps relay
+// device MACs; 28/36/15 apps upload router MAC/SSID/Wi-Fi MAC; ...).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/runtime.hpp"
+
+namespace roomnet {
+
+struct ExfiltrationFinding {
+  std::string package;
+  SdkId sdk = SdkId::kNone;
+  std::string endpoint;
+  SensitiveData data = SensitiveData::kDeviceMac;
+  std::size_t value_count = 0;
+  /// True when the data required a permission the app does not hold and was
+  /// obtained via a side channel (the Android bypass).
+  bool permission_bypass = false;
+};
+
+std::vector<ExfiltrationFinding> detect_exfiltration(
+    const std::vector<AppRunRecord>& records);
+
+struct AppCampaignStats {
+  std::size_t total_apps = 0;
+  std::size_t apps_scanning_lan = 0;  // any discovery protocol
+  std::size_t apps_mdns = 0;
+  std::size_t apps_ssdp = 0;
+  std::size_t apps_netbios = 0;
+  std::size_t apps_local_tls = 0;
+  std::size_t apps_uploading_device_macs = 0;
+  std::size_t iot_apps_uploading_device_macs = 0;
+  std::size_t apps_uploading_router_ssid = 0;
+  std::size_t apps_uploading_router_bssid = 0;
+  std::size_t apps_uploading_wifi_mac = 0;
+  std::size_t apps_with_permission_bypass = 0;
+  std::map<SdkId, std::size_t> uploads_per_sdk;
+
+  [[nodiscard]] double pct(std::size_t n) const {
+    return total_apps == 0
+               ? 0
+               : 100.0 * static_cast<double>(n) / static_cast<double>(total_apps);
+  }
+};
+
+AppCampaignStats summarize_campaign(const std::vector<AppRunRecord>& records);
+
+}  // namespace roomnet

@@ -1,0 +1,74 @@
+#include "apps/permissions.hpp"
+
+namespace roomnet {
+
+std::string to_string(AndroidPermission permission) {
+  switch (permission) {
+    case AndroidPermission::kInternet: return "INTERNET";
+    case AndroidPermission::kChangeWifiMulticastState:
+      return "CHANGE_WIFI_MULTICAST_STATE";
+    case AndroidPermission::kAccessNetworkState: return "ACCESS_NETWORK_STATE";
+    case AndroidPermission::kAccessWifiState: return "ACCESS_WIFI_STATE";
+    case AndroidPermission::kAccessCoarseLocation:
+      return "ACCESS_COARSE_LOCATION";
+    case AndroidPermission::kAccessFineLocation: return "ACCESS_FINE_LOCATION";
+    case AndroidPermission::kNearbyWifiDevices: return "NEARBY_WIFI_DEVICES";
+  }
+  return "?";
+}
+
+bool is_dangerous(AndroidPermission permission) {
+  switch (permission) {
+    case AndroidPermission::kAccessCoarseLocation:
+    case AndroidPermission::kAccessFineLocation:
+    case AndroidPermission::kNearbyWifiDevices:
+      return true;
+    default:
+      return false;  // INTERNET & friends are install-time, no consent (§2.1)
+  }
+}
+
+std::string to_string(SensitiveData data) {
+  switch (data) {
+    case SensitiveData::kRouterSsid: return "router_ssid";
+    case SensitiveData::kRouterBssid: return "router_bssid";
+    case SensitiveData::kWifiMac: return "wifi_mac";
+    case SensitiveData::kDeviceMac: return "device_mac";
+    case SensitiveData::kDeviceUuid: return "device_uuid";
+    case SensitiveData::kDeviceHostname: return "device_hostname";
+    case SensitiveData::kLocalDeviceList: return "local_device_list";
+    case SensitiveData::kGeolocation: return "geolocation";
+    case SensitiveData::kAaid: return "aaid";
+    case SensitiveData::kAndroidId: return "android_id";
+    case SensitiveData::kTplinkDeviceId: return "tplink_device_id";
+    case SensitiveData::kTplinkOemId: return "tplink_oem_id";
+  }
+  return "?";
+}
+
+std::optional<AndroidPermission> required_permission(SensitiveData data,
+                                                     int android_version) {
+  switch (data) {
+    case SensitiveData::kRouterSsid:
+    case SensitiveData::kRouterBssid:
+      // Android 9-12: location; Android 13+: NEARBY_WIFI_DEVICES (§2.1).
+      return android_version >= 13 ? AndroidPermission::kNearbyWifiDevices
+                                   : AndroidPermission::kAccessFineLocation;
+    case SensitiveData::kGeolocation:
+      return AndroidPermission::kAccessFineLocation;
+    case SensitiveData::kWifiMac:
+      return AndroidPermission::kAccessWifiState;
+    // Everything harvestable over the LAN (device MACs, UUIDs, hostnames,
+    // TP-Link IDs, device inventories) has NO protecting permission — the
+    // core finding of §2.1/§6.
+    default:
+      return std::nullopt;
+  }
+}
+
+bool ios_allows_local_network(const IosEntitlements& entitlements) {
+  return entitlements.multicast_entitlement &&
+         entitlements.local_network_consent;
+}
+
+}  // namespace roomnet

@@ -1,0 +1,65 @@
+// Android-like permission model (§2.1): which sensitive data types exist,
+// which permission the *official* API requires for each, and which
+// permissions are "dangerous" (runtime consent). The paper's PoC shows local
+// network scanning needs only INTERNET + CHANGE_WIFI_MULTICAST_STATE —
+// neither dangerous — which is the side channel the audit flags.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace roomnet {
+
+enum class AndroidPermission {
+  kInternet,
+  kChangeWifiMulticastState,
+  kAccessNetworkState,
+  kAccessWifiState,
+  kAccessCoarseLocation,
+  kAccessFineLocation,
+  kNearbyWifiDevices,  // Android 13+
+};
+
+std::string to_string(AndroidPermission permission);
+
+/// Runtime-consent ("dangerous") permissions.
+bool is_dangerous(AndroidPermission permission);
+
+/// Sensitive data types tracked by the instrumentation (§6.1's exfiltrated
+/// fields).
+enum class SensitiveData {
+  kRouterSsid,
+  kRouterBssid,      // Wi-Fi AP MAC
+  kWifiMac,          // phone's own Wi-Fi MAC
+  kDeviceMac,        // other devices' MACs (harvested on the LAN)
+  kDeviceUuid,
+  kDeviceHostname,
+  kLocalDeviceList,  // inventory of nearby devices
+  kGeolocation,
+  kAaid,             // Android Advertising ID
+  kAndroidId,
+  kTplinkDeviceId,
+  kTplinkOemId,
+};
+
+std::string to_string(SensitiveData data);
+
+/// Permission the official Android API requires to read this data type, at
+/// the given SDK level (paper: SSID/BSSID need location on Android 9-12,
+/// NEARBY_WIFI_DEVICES on 13; AAID and LAN-harvested data have none).
+std::optional<AndroidPermission> required_permission(SensitiveData data,
+                                                     int android_version);
+
+/// iOS 14+ model (§2.1): ANY local-network traffic — unicast or multicast —
+/// requires the com.apple.developer.networking.multicast entitlement
+/// (Apple-approved) plus the NSLocalNetworkUsageDescription user prompt.
+/// The paper's iOS 16.7 PoC confirms scanning is blocked without both.
+struct IosEntitlements {
+  bool multicast_entitlement = false;  // granted by Apple review
+  bool local_network_consent = false;  // user said yes to the prompt
+};
+
+/// True when an iOS app with these entitlements may touch the LAN at all.
+bool ios_allows_local_network(const IosEntitlements& entitlements);
+
+}  // namespace roomnet

@@ -1,0 +1,79 @@
+// AppRunner: executes one app's behavior on the instrumented phone inside
+// the lab, recording what the AppCensus-style instrumentation would see
+// (§3.2): permission-API accesses, side-channel data acquisition over
+// discovery protocols, and plaintext views of every cloud upload (TLS MITM).
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/appspec.hpp"
+#include "apps/permissions.hpp"
+#include "classify/label.hpp"
+#include "testbed/lab.hpp"
+
+namespace roomnet {
+
+/// One data acquisition observed at runtime.
+struct DataAccess {
+  SensitiveData data = SensitiveData::kDeviceMac;
+  std::string value;
+  /// "WifiInfo API", "mdns scan", "ssdp description", "netbios sweep",
+  /// "arp cache", "tplink discovery".
+  std::string channel;
+  bool via_side_channel = false;
+  /// Permission the official API would require, and whether the app holds it.
+  std::optional<AndroidPermission> required;
+  bool permission_held = false;
+};
+
+/// One cloud upload, in the decrypted (MITM) view.
+struct CloudUpload {
+  std::string endpoint;
+  SdkId sdk = SdkId::kNone;  // kNone = first-party upload
+  std::string payload_json;
+  std::vector<SensitiveData> contents;
+};
+
+struct AppRunRecord {
+  AppSpec spec;
+  std::vector<DataAccess> accesses;
+  std::vector<CloudUpload> uploads;
+  std::set<ProtocolLabel> local_protocols;  // what the app used on the LAN
+  /// Distinct local devices the app learned about (inventory size).
+  std::size_t devices_discovered = 0;
+};
+
+class AppRunner {
+ public:
+  /// Runs apps on `lab`'s Pixel phone. The lab should be booted.
+  explicit AppRunner(Lab& lab);
+
+  /// Executes one app for ~`window` of virtual time and returns the record.
+  AppRunRecord run(const AppSpec& app,
+                   SimTime window = SimTime::from_seconds(30));
+
+  /// Runs every app in the dataset (the §3.2 campaign).
+  std::vector<AppRunRecord> run_all(const AppDataset& dataset,
+                                    SimTime window = SimTime::from_seconds(20));
+
+ private:
+  struct Harvest;  // per-run mutable state
+  void do_mdns_scan(Harvest& harvest);
+  void do_ssdp_scan(Harvest& harvest, bool igd_target);
+  void do_netbios_sweep(Harvest& harvest);
+  void do_arp_harvest(Harvest& harvest);
+  void do_tplink_discovery(Harvest& harvest);
+  void do_local_tls(Harvest& harvest);
+  void access_phone_data(const AppSpec& app, Harvest& harvest);
+  void build_uploads(const AppSpec& app, Harvest& harvest,
+                     AppRunRecord& record);
+
+  Lab* lab_;
+  Rng rng_;
+  std::string router_ssid_ = "HomeNet-5G";
+};
+
+}  // namespace roomnet

@@ -1,0 +1,70 @@
+// ARP-spoofing traffic interception — IoT Inspector's collection method
+// (§3.3: "passive local network traffic captured using ARP spoofing").
+// The spoofer periodically poisons each victim's ARP cache so that traffic
+// for its peers resolves to the spoofer's MAC; intercepted frames are
+// recorded and transparently forwarded to the true destination, keeping the
+// network functional while a vantage point with no switch access observes
+// unicast device-to-device traffic.
+//
+// This is also the threat-model demonstration: anything on the LAN can
+// obtain an AP-equivalent vantage with nothing but ARP.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "netcore/address.hpp"
+#include "netcore/packet.hpp"
+#include "netcore/time.hpp"
+#include "sim/host.hpp"
+
+namespace roomnet {
+
+class ArpSpoofer {
+ public:
+  /// `host` is the machine the inspector software runs on (already on the
+  /// LAN with an IP).
+  explicit ArpSpoofer(Host& host);
+
+  struct Victim {
+    Ipv4Address ip;
+    MacAddress mac;
+  };
+  /// Adds a device whose traffic should be interposed. All victims are
+  /// cross-poisoned: each is told that every other victim's IP lives at the
+  /// spoofer's MAC.
+  void add_victim(Victim victim) { victims_.push_back(victim); }
+
+  /// Starts periodic poisoning (real tools re-poison every few seconds so
+  /// genuine ARP replies cannot win back the cache).
+  void start(SimTime interval = SimTime::from_seconds(5));
+  void stop();
+
+  struct Intercept {
+    SimTime at;
+    MacAddress original_src;
+    Ipv4Address src_ip;
+    Ipv4Address dst_ip;
+    std::size_t bytes = 0;
+    bool forwarded = false;
+  };
+  [[nodiscard]] const std::vector<Intercept>& intercepts() const {
+    return intercepts_;
+  }
+  [[nodiscard]] std::size_t poison_rounds() const { return rounds_; }
+
+ private:
+  void poison_once();
+  void on_packet(const Packet& packet);
+  [[nodiscard]] const Victim* victim_by_ip(Ipv4Address ip) const;
+
+  Host* host_;
+  std::vector<Victim> victims_;
+  std::vector<Intercept> intercepts_;
+  std::uint64_t timer_ = 0;
+  std::size_t rounds_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace roomnet

@@ -1,0 +1,50 @@
+#include "capture/capture.hpp"
+
+#include <filesystem>
+
+namespace roomnet {
+
+void CaptureSink::attach(Switch& net) {
+  net.add_tap([this](SimTime at, BytesView frame) {
+    records_.push_back({at, Bytes(frame.begin(), frame.end())});
+  });
+}
+
+std::map<MacAddress, std::vector<PcapRecord>> CaptureSink::split_by_source()
+    const {
+  std::map<MacAddress, std::vector<PcapRecord>> out;
+  for (const auto& rec : records_) {
+    if (rec.frame.size() < 12) continue;
+    std::array<std::uint8_t, 6> src{};
+    std::copy_n(rec.frame.begin() + 6, 6, src.begin());
+    out[MacAddress(src)].push_back(rec);
+  }
+  return out;
+}
+
+std::size_t CaptureSink::write_pcap_dir(const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return 0;
+  std::size_t written = 0;
+  if (write_pcap_file(dir + "/all.pcap", records_)) ++written;
+  for (const auto& [mac, recs] : split_by_source()) {
+    std::string name = mac.to_string();
+    for (auto& c : name)
+      if (c == ':') c = '-';
+    if (write_pcap_file(dir + "/" + name + ".pcap", recs)) ++written;
+  }
+  return written;
+}
+
+std::vector<std::pair<SimTime, Packet>> CaptureSink::decoded() const {
+  std::vector<std::pair<SimTime, Packet>> out;
+  out.reserve(records_.size());
+  for (const auto& rec : records_) {
+    auto p = decode_frame(BytesView(rec.frame));
+    if (p) out.emplace_back(rec.timestamp, std::move(*p));
+  }
+  return out;
+}
+
+}  // namespace roomnet

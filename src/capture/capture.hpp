@@ -1,0 +1,42 @@
+// Capture sink: the tcpdump-on-the-AP vantage point. Records every frame on
+// the switch with its timestamp, supports per-source-MAC splitting (the
+// MonIoTr lab stores one pcap per device MAC, §3.1) and pcap export.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "netcore/address.hpp"
+#include "netcore/packet.hpp"
+#include "netcore/pcap.hpp"
+#include "sim/network.hpp"
+
+namespace roomnet {
+
+class CaptureSink {
+ public:
+  /// Starts capturing every frame transmitted on `net`. The sink must
+  /// outlive the switch's use (taps hold a reference).
+  void attach(Switch& net);
+
+  [[nodiscard]] const std::vector<PcapRecord>& records() const { return records_; }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  void clear() { records_.clear(); }
+
+  /// Splits the capture by source MAC — one trace per device.
+  [[nodiscard]] std::map<MacAddress, std::vector<PcapRecord>> split_by_source()
+      const;
+
+  /// Writes <dir>/<mac>.pcap per device plus <dir>/all.pcap.
+  /// Returns the number of files written, 0 on failure.
+  std::size_t write_pcap_dir(const std::string& dir) const;
+
+  /// Decodes all records (packets that fail Ethernet decode are skipped).
+  [[nodiscard]] std::vector<std::pair<SimTime, Packet>> decoded() const;
+
+ private:
+  std::vector<PcapRecord> records_;
+};
+
+}  // namespace roomnet

@@ -1,0 +1,23 @@
+// The paper's local-traffic filter (Appendix C.1):
+//   (ip.dst in subnet AND ip.src in subnet)  -- local IP unicast
+//   OR eth.dst.ig == 1                       -- multicast/broadcast
+//   OR (eth.dst.ig == 0 AND !ip)             -- non-IP unicast (ARP, EAPOL)
+#pragma once
+
+#include "netcore/address.hpp"
+#include "netcore/packet.hpp"
+
+namespace roomnet {
+
+struct LocalFilter {
+  Ipv4Address subnet = Ipv4Address(192, 168, 10, 0);
+  int prefix_len = 24;
+
+  [[nodiscard]] bool matches(const Packet& packet) const;
+};
+
+/// The broader membership test used on crowdsourced data (§3.3): both
+/// endpoints in any RFC 1918/link-local private range.
+bool is_private_to_private(const Packet& packet);
+
+}  // namespace roomnet

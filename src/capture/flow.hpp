@@ -1,0 +1,67 @@
+// Flow assembly per RFC 6146's 5-tuple definition (§C.2): a chronologically
+// ordered set of TCP segments / UDP datagrams sharing (src IP, src port,
+// dst IP, dst port, transport). Flows here are bidirectional — the reverse
+// tuple maps to the same flow with direction flags — matching how nDPI
+// groups packets.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "netcore/address.hpp"
+#include "netcore/packet.hpp"
+#include "netcore/time.hpp"
+
+namespace roomnet {
+
+struct FlowKey {
+  Ipv4Address client_ip;  // initiator (first packet's source)
+  Port client_port{};
+  Ipv4Address server_ip;
+  Port server_port{};
+  std::uint8_t protocol = 0;  // IPPROTO_TCP / IPPROTO_UDP
+
+  friend auto operator<=>(const FlowKey&, const FlowKey&) = default;
+};
+
+struct FlowPacket {
+  SimTime timestamp;
+  bool from_client = true;
+  std::uint32_t size = 0;  // full frame size
+  Bytes payload;           // transport payload (may be empty for pure ACKs)
+  MacAddress src_mac;
+  MacAddress dst_mac;
+  TcpFlags tcp_flags;  // zero-initialized for UDP
+};
+
+struct Flow {
+  FlowKey key;
+  std::vector<FlowPacket> packets;
+
+  [[nodiscard]] SimTime first_seen() const {
+    return packets.empty() ? SimTime{} : packets.front().timestamp;
+  }
+  [[nodiscard]] SimTime last_seen() const {
+    return packets.empty() ? SimTime{} : packets.back().timestamp;
+  }
+  [[nodiscard]] std::size_t byte_count() const;
+  /// First non-empty payload in each direction (classifier inputs).
+  [[nodiscard]] BytesView first_client_payload() const;
+  [[nodiscard]] BytesView first_server_payload() const;
+};
+
+class FlowTable {
+ public:
+  /// Ingests one decoded packet; ignores non-TCP/UDP.
+  void add(SimTime at, const Packet& packet);
+  [[nodiscard]] const std::vector<Flow>& flows() const { return flows_; }
+  [[nodiscard]] std::size_t packet_count() const { return packets_; }
+
+ private:
+  std::map<FlowKey, std::size_t> index_;
+  std::vector<Flow> flows_;
+  std::size_t packets_ = 0;
+};
+
+}  // namespace roomnet

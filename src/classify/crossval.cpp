@@ -1,0 +1,48 @@
+#include "classify/crossval.hpp"
+
+namespace roomnet {
+
+bool is_concrete_label(ProtocolLabel label) {
+  switch (label) {
+    case ProtocolLabel::kUnknown:
+    case ProtocolLabel::kUnknownL3:
+    case ProtocolLabel::kGenericTcp:
+    case ProtocolLabel::kGenericUdp:
+      return false;
+    default:
+      return true;
+  }
+}
+
+CrossValidation cross_validate(const std::vector<Flow>& flows,
+                               const std::vector<Packet>& l2_l3_packets) {
+  SpecClassifier spec;
+  DeepClassifier deep;
+  CrossValidation cv;
+
+  const auto record = [&](ProtocolLabel s, ProtocolLabel d) {
+    ++cv.total;
+    ++cv.matrix[{s, d}];
+    const bool s_concrete = is_concrete_label(s);
+    const bool d_concrete = is_concrete_label(d);
+    if (s_concrete) ++cv.spec_labeled;
+    if (d_concrete) ++cv.deep_labeled;
+    if (s == d && s_concrete) {
+      ++cv.agreed;
+    } else if (s_concrete && d_concrete) {
+      ++cv.disagreed;
+    } else if (!s_concrete && !d_concrete) {
+      ++cv.neither_labeled;
+    } else {
+      ++cv.disagreed;  // one tool labeled, the other could not
+    }
+  };
+
+  for (const auto& flow : flows)
+    record(spec.classify_flow(flow), deep.classify_flow(flow));
+  for (const auto& packet : l2_l3_packets)
+    record(spec.classify_packet(packet), deep.classify_packet(packet));
+  return cv;
+}
+
+}  // namespace roomnet

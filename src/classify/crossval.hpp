@@ -1,0 +1,43 @@
+// Classifier cross-validation (Appendix C.2 / Figure 3): run the spec and
+// deep classifiers over the same packets+flows and tabulate agreement,
+// disagreement, and the confusion matrix between their label vocabularies.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "capture/flow.hpp"
+#include "classify/classifier.hpp"
+
+namespace roomnet {
+
+struct CrossValidation {
+  /// (spec label, deep label) -> count.
+  std::map<std::pair<ProtocolLabel, ProtocolLabel>, std::size_t> matrix;
+  std::size_t total = 0;
+  std::size_t agreed = 0;
+  std::size_t disagreed = 0;       // both labeled, different labels
+  std::size_t neither_labeled = 0; // both generic/unknown
+  std::size_t spec_labeled = 0;    // spec produced a non-generic label
+  std::size_t deep_labeled = 0;
+
+  [[nodiscard]] double agreement_rate() const {
+    return total == 0 ? 0 : static_cast<double>(agreed) / static_cast<double>(total);
+  }
+  [[nodiscard]] double disagreement_rate() const {
+    return total == 0 ? 0 : static_cast<double>(disagreed) / static_cast<double>(total);
+  }
+  [[nodiscard]] double unlabeled_rate() const {
+    return total == 0 ? 0
+                      : static_cast<double>(neither_labeled) / static_cast<double>(total);
+  }
+};
+
+/// True when a label names a concrete protocol (vs generic/unknown bins).
+bool is_concrete_label(ProtocolLabel label);
+
+/// Cross-validates over flows plus packet-level L2/L3 traffic.
+CrossValidation cross_validate(const std::vector<Flow>& flows,
+                               const std::vector<Packet>& l2_l3_packets);
+
+}  // namespace roomnet

@@ -1,0 +1,56 @@
+#include "classify/label.hpp"
+
+namespace roomnet {
+
+std::string to_string(ProtocolLabel label) {
+  switch (label) {
+    case ProtocolLabel::kArp: return "ARP";
+    case ProtocolLabel::kEapol: return "EAPOL";
+    case ProtocolLabel::kXidLlc: return "XID/LLC";
+    case ProtocolLabel::kIcmp: return "ICMP";
+    case ProtocolLabel::kIcmpv6: return "ICMPv6";
+    case ProtocolLabel::kIgmp: return "IGMP";
+    case ProtocolLabel::kUnknownL3: return "UNKNOWN-L3";
+    case ProtocolLabel::kDhcp: return "DHCP";
+    case ProtocolLabel::kDhcpv6: return "DHCPv6";
+    case ProtocolLabel::kMdns: return "mDNS";
+    case ProtocolLabel::kDns: return "DNS";
+    case ProtocolLabel::kSsdp: return "SSDP";
+    case ProtocolLabel::kNetbios: return "NETBIOS";
+    case ProtocolLabel::kCoap: return "COAP";
+    case ProtocolLabel::kHttp: return "HTTP";
+    case ProtocolLabel::kTls: return "TLS";
+    case ProtocolLabel::kTplinkShp: return "TPLINK_SHP";
+    case ProtocolLabel::kTuyaLp: return "TuyaLP";
+    case ProtocolLabel::kStun: return "STUN";
+    case ProtocolLabel::kRtp: return "RTP";
+    case ProtocolLabel::kTelnet: return "TELNET";
+    case ProtocolLabel::kMatter: return "MATTER";
+    case ProtocolLabel::kGenericTcp: return "OTHER-TCP";
+    case ProtocolLabel::kGenericUdp: return "OTHER-UDP";
+    case ProtocolLabel::kUnknown: return "UNKNOWN";
+    case ProtocolLabel::kCiscoVpn: return "CISCOVPN";
+    case ProtocolLabel::kAmazonAws: return "AMAZONAWS";
+  }
+  return "?";
+}
+
+bool is_discovery_protocol(ProtocolLabel label) {
+  switch (label) {
+    case ProtocolLabel::kArp:
+    case ProtocolLabel::kDhcp:
+    case ProtocolLabel::kDhcpv6:
+    case ProtocolLabel::kMdns:
+    case ProtocolLabel::kSsdp:
+    case ProtocolLabel::kNetbios:
+    case ProtocolLabel::kCoap:
+    case ProtocolLabel::kTplinkShp:
+    case ProtocolLabel::kTuyaLp:
+    case ProtocolLabel::kIcmpv6:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace roomnet

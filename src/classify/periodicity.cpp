@@ -1,0 +1,113 @@
+#include "classify/periodicity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+namespace roomnet {
+
+void fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        2 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1 : -1);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse)
+    for (auto& x : data) x /= static_cast<double>(n);
+}
+
+std::vector<double> autocorrelation(const std::vector<double>& series) {
+  if (series.empty()) return {};
+  // Mean-remove, zero-pad to 2*next power of two (linear, not circular).
+  const double mean =
+      std::accumulate(series.begin(), series.end(), 0.0) /
+      static_cast<double>(series.size());
+  std::size_t n = 1;
+  while (n < series.size() * 2) n <<= 1;
+  std::vector<std::complex<double>> data(n);
+  for (std::size_t i = 0; i < series.size(); ++i) data[i] = series[i] - mean;
+  fft(data);
+  for (auto& x : data) x *= std::conj(x);
+  fft(data, /*inverse=*/true);
+  std::vector<double> out(series.size());
+  const double norm = data[0].real();
+  if (norm <= 1e-12) return std::vector<double>(series.size(), 0.0);
+  for (std::size_t i = 0; i < series.size(); ++i)
+    out[i] = data[i].real() / norm;
+  return out;
+}
+
+PeriodicityResult detect_periodicity(const std::vector<SimTime>& events,
+                                     SimTime window,
+                                     const PeriodicityParams& params) {
+  PeriodicityResult result;
+  if (events.size() < params.min_events || window.seconds() <= 0) return result;
+
+  // Bin events into a power-of-two series.
+  std::size_t bins = 1;
+  const auto wanted =
+      static_cast<std::size_t>(window.seconds() / params.bin_seconds) + 1;
+  while (bins < wanted) bins <<= 1;
+  bins = std::min<std::size_t>(bins, 1 << 16);
+  const double bin_width = window.seconds() / static_cast<double>(bins);
+  if (bin_width <= 0) return result;
+
+  std::vector<double> series(bins, 0.0);
+  for (const SimTime t : events) {
+    auto idx = static_cast<std::size_t>(t.seconds() / bin_width);
+    if (idx >= bins) idx = bins - 1;
+    series[idx] += 1.0;
+  }
+
+  const std::vector<double> ac = autocorrelation(series);
+  if (ac.empty()) return result;
+
+  // A true period whose bin count is non-integral smears its correlation
+  // peak across adjacent lags; score each lag by the 3-bin neighborhood sum
+  // so drifting peaks still register, then confirm with the 2P harmonic.
+  const std::size_t max_lag = ac.size() / 2;
+  const auto peak_score = [&](std::size_t lag) {
+    double s = ac[lag];
+    if (lag > 0) s += std::max(0.0, ac[lag - 1]);
+    if (lag + 1 < ac.size()) s += std::max(0.0, ac[lag + 1]);
+    return s;
+  };
+  for (std::size_t lag = 2; lag < max_lag; ++lag) {
+    const double score = peak_score(lag);
+    if (score < params.threshold) continue;
+    // Must be a neighborhood maximum (skip rising edges).
+    if (lag + 2 < ac.size() && ac[lag + 1] > ac[lag] && ac[lag + 2] > ac[lag])
+      continue;
+    const std::size_t second = lag * 2;
+    const bool harmonic_ok =
+        second + 1 >= ac.size() || peak_score(second) > params.threshold * 0.4;
+    if (!harmonic_ok) continue;
+    result.periodic = true;
+    result.period_seconds = static_cast<double>(lag) * bin_width;
+    result.confidence = score;
+    return result;
+  }
+  return result;
+}
+
+}  // namespace roomnet

@@ -1,0 +1,44 @@
+// Periodicity detection (Appendix D.1): Discrete Fourier Transform plus
+// autocorrelation over per-(destination, protocol) event time series, the
+// method the paper borrows from BehavIoT to show 88% of discovery flows are
+// periodic (580 periodic groups, ~6.2 per device).
+#pragma once
+
+#include <complex>
+#include <optional>
+#include <vector>
+
+#include "netcore/time.hpp"
+
+namespace roomnet {
+
+/// In-place radix-2 Cooley-Tukey FFT. `data.size()` must be a power of two.
+void fft(std::vector<std::complex<double>>& data, bool inverse = false);
+
+/// Circular autocorrelation of a real series via FFT (normalized so that
+/// lag 0 == 1; all-zero input returns all zeros).
+std::vector<double> autocorrelation(const std::vector<double>& series);
+
+struct PeriodicityResult {
+  bool periodic = false;
+  double period_seconds = 0;
+  /// Autocorrelation value at the detected period (0..1).
+  double confidence = 0;
+};
+
+struct PeriodicityParams {
+  double bin_seconds = 1.0;
+  /// Autocorrelation threshold for declaring a peak periodic.
+  double threshold = 0.5;
+  /// Minimum number of events before attempting detection.
+  std::size_t min_events = 4;
+};
+
+/// Detects a dominant period in a series of event timestamps over the
+/// observation window [0, window]. DFT proposes candidate frequencies;
+/// autocorrelation at the implied lag confirms them.
+PeriodicityResult detect_periodicity(const std::vector<SimTime>& events,
+                                     SimTime window,
+                                     const PeriodicityParams& params = {});
+
+}  // namespace roomnet

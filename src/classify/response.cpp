@@ -1,0 +1,69 @@
+#include "classify/response.hpp"
+
+#include <deque>
+
+namespace roomnet {
+
+namespace {
+/// Table 4 excludes the protocols "used by most of the devices".
+bool counts_for_table4(ProtocolLabel label) {
+  switch (label) {
+    case ProtocolLabel::kArp:
+    case ProtocolLabel::kDhcp:
+    case ProtocolLabel::kIcmp:
+    case ProtocolLabel::kIcmpv6:
+    case ProtocolLabel::kIgmp:
+      return false;
+    default:
+      return is_discovery_protocol(label);
+  }
+}
+}  // namespace
+
+ResponseStats correlate_responses(
+    const std::vector<std::pair<SimTime, Packet>>& capture, SimTime window) {
+  HybridClassifier classifier;
+  ResponseStats stats;
+  std::deque<DiscoveryEvent> recent;
+
+  for (const auto& [at, packet] : capture) {
+    // Expire old discoveries.
+    while (!recent.empty() && at - recent.front().at > window)
+      recent.pop_front();
+
+    const ProtocolLabel label = classifier.classify_packet(packet);
+    const bool is_multicast_out = packet.eth.dst.is_multicast();
+
+    if (is_multicast_out && counts_for_table4(label) && packet.has_transport()) {
+      DiscoveryEvent ev;
+      ev.at = at;
+      ev.discoverer = packet.eth.src;
+      ev.protocol = label;
+      ev.port = value(*packet.src_port());
+      stats.discovery_protocols[ev.discoverer].insert(label);
+      recent.push_back(ev);
+      continue;
+    }
+    // Track discovery protocol *usage* even when broadcast-only (e.g.
+    // TPLINK over subnet broadcast arrives as eth broadcast => multicast bit
+    // set, handled above). Unicast discovery queries still count as usage.
+    if (counts_for_table4(label) && packet.has_transport() &&
+        !packet.eth.dst.is_multicast()) {
+      // Candidate response: unicast, same transport/port, within window.
+      for (const auto& ev : recent) {
+        if (ev.discoverer != packet.eth.dst) continue;
+        if (packet.eth.src == ev.discoverer) continue;
+        const std::uint16_t dst_port = value(*packet.dst_port());
+        if (dst_port != ev.port && value(*packet.src_port()) != ev.port)
+          continue;
+        stats.answered_protocols[ev.discoverer].insert(ev.protocol);
+        stats.responders[ev.discoverer].insert(packet.eth.src);
+        stats.matches.push_back({ev, packet.eth.src, at});
+        break;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace roomnet

@@ -1,0 +1,97 @@
+#include "core/pipeline.hpp"
+
+#include "capture/filter.hpp"
+#include "capture/flow.hpp"
+
+namespace roomnet {
+
+Pipeline::Pipeline(PipelineConfig config) : config_(config) {
+  lab_ = std::make_unique<Lab>(
+      LabConfig{.seed = config_.seed, .record_frames = false});
+}
+
+PipelineResults Pipeline::run() {
+  PipelineResults results;
+  for (const auto& device : lab_->devices())
+    results.population.insert(device->mac());
+
+  // Streaming consumers over the decoded tap (no frame retention).
+  std::vector<std::pair<SimTime, Packet>> decoded;
+  const LocalFilter filter;
+  FlowTable flow_table;
+  // Appendix C.2 cross-validates over "local network packets and flows":
+  // every local packet is classified individually in addition to the flows.
+  std::vector<Packet> all_packets;
+  lab_->network().add_packet_tap(
+      [&](SimTime at, const Packet& packet, BytesView) {
+        if (!filter.matches(packet)) return;
+        ++results.local_packets;
+        decoded.emplace_back(at, packet);
+        flow_table.add(at, packet);
+        all_packets.push_back(packet);
+      });
+
+  // --- Stage 1: idle capture (§3.1) -----------------------------------
+  lab_->start_all();
+  lab_->run_idle(config_.idle_duration);
+
+  // --- Stage 2: interactions (§3.1) ------------------------------------
+  if (config_.interactions > 0) lab_->run_interactions(config_.interactions);
+
+  // --- Stage 3: passive analyses (§4.1, §5.1, C.2, D.2) ----------------
+  results.usage = protocol_usage(decoded);
+  results.graph = build_comm_graph(decoded, results.population);
+  results.exposure = analyze_exposure(decoded);
+  results.crossval = cross_validate(flow_table.flows(), all_packets);
+  results.responses = correlate_responses(decoded);
+  results.flows = flow_table.flows().size();
+
+  // --- Stage 4: active scan + vulnerability audit (§4.2, §5.2) ----------
+  if (config_.run_scan) {
+    Host scan_box(lab_->network(), MacAddress::from_u64(0x02a0fc0000aaull),
+                  "scanbox");
+    scan_box.set_static_ip(Ipv4Address(192, 168, 10, 251));
+    std::vector<ScanTarget> targets;
+    for (const auto& device : lab_->devices()) {
+      if (!device->host().has_ip()) continue;
+      targets.push_back({device->mac(), device->host().ip(),
+                         device->spec().vendor + " " + device->spec().model});
+    }
+    PortScanner scanner(scan_box);
+    scanner.start(targets);
+    lab_->run_for(scanner.estimated_duration());
+    results.scan_reports = scanner.reports();
+
+    ServiceProber prober(scan_box);
+    prober.start(scanner.reports());
+    lab_->run_for(prober.estimated_duration());
+    results.audits = prober.audits();
+    results.vulnerabilities = scan_vulnerabilities(results.audits);
+  }
+
+  // --- Stage 5: app campaign (§3.2, §6.1, §6.2) -------------------------
+  if (config_.app_sample > 0) {
+    Rng app_rng = lab_->rng().fork("app-dataset");
+    const AppDataset dataset = generate_app_dataset(app_rng);
+    AppRunner runner(*lab_);
+    std::vector<AppRunRecord> records;
+    const int count =
+        std::min<int>(config_.app_sample, static_cast<int>(dataset.apps.size()));
+    records.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i)
+      records.push_back(runner.run(dataset.apps[static_cast<std::size_t>(i)],
+                                   SimTime::from_seconds(15)));
+    results.app_stats = summarize_campaign(records);
+    results.exfiltration = detect_exfiltration(records);
+  }
+
+  // --- Stage 6: crowdsourced entropy analysis (§6.3) --------------------
+  if (config_.run_crowd) {
+    Rng crowd_rng(config_.seed ^ 0xc0ffee);
+    const InspectorDataset dataset = generate_inspector_dataset(crowd_rng);
+    results.fingerprints = fingerprint_households(dataset);
+  }
+  return results;
+}
+
+}  // namespace roomnet

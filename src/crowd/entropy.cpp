@@ -1,0 +1,115 @@
+#include "crowd/entropy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace roomnet {
+
+std::set<ExtractedIdentifier> device_identifiers(const InspectorDevice& device) {
+  std::set<ExtractedIdentifier> out;
+  const auto scan = [&](const std::string& payload) {
+    for (auto& id : extract_identifiers(payload, device.oui)) out.insert(id);
+    // MACs may be degenerate constants that fail the OUI check yet still
+    // count as an exposed (shared) identifier value.
+    for (auto& mac : extract_macs(payload))
+      out.insert({IdentifierType::kMacAddress, mac});
+  };
+  for (const auto& payload : device.mdns_responses) scan(payload);
+  for (const auto& payload : device.ssdp_responses) scan(payload);
+  return out;
+}
+
+FingerprintAnalysis fingerprint_households(const InspectorDataset& dataset) {
+  // Table 2's grouping: devices partition into rows by the identifier-type
+  // combination THEIR OWN payloads expose; a household is counted in every
+  // row for which it owns at least one such device (which is why the
+  // paper's per-row household counts sum past 3,860 while the device counts
+  // sum to exactly 12,669).
+  struct DeviceView {
+    std::size_t household;
+    std::size_t product;
+    ExposureClass types;
+    std::set<ExtractedIdentifier> ids;
+  };
+  std::vector<DeviceView> device_views;
+  device_views.reserve(dataset.devices.size());
+  for (const auto& device : dataset.devices) {
+    DeviceView view;
+    view.household = device.household;
+    view.product = device.product_index;
+    view.ids = device_identifiers(device);
+    for (const auto& id : view.ids) {
+      switch (id.type) {
+        case IdentifierType::kName: view.types.name = true; break;
+        case IdentifierType::kUuid: view.types.uuid = true; break;
+        case IdentifierType::kMacAddress: view.types.mac = true; break;
+      }
+    }
+    device_views.push_back(std::move(view));
+  }
+
+  std::map<ExposureClass, std::vector<const DeviceView*>> by_class;
+  for (const auto& view : device_views) by_class[view.types].push_back(&view);
+
+  FingerprintAnalysis analysis;
+  for (const auto& [types, members] : by_class) {
+    FingerprintRow row;
+    row.types = types;
+    row.type_count = types.count();
+    row.devices = members.size();
+
+    std::set<std::size_t> products;
+    std::set<std::string> vendors;
+    // Household fingerprint: the sorted identifier multiset of its devices
+    // in this class.
+    std::map<std::size_t, std::string> fingerprints;
+    for (const DeviceView* view : members) {
+      products.insert(view->product);
+      vendors.insert(dataset.products[view->product].vendor);
+      std::string& fp = fingerprints[view->household];
+      for (const auto& id : view->ids)
+        fp += to_string(id.type) + ":" + id.value + ";";
+    }
+    row.products = products.size();
+    row.vendors = vendors.size();
+    row.households = fingerprints.size();
+
+    if (types.count() > 0) {
+      std::map<std::string, std::size_t> counts;
+      for (const auto& [household, fp] : fingerprints) ++counts[fp];
+      for (const auto& [household, fp] : fingerprints)
+        if (counts[fp] == 1) ++row.uniquely_identified;
+      row.entropy_bits =
+          counts.empty() ? 0 : std::log2(static_cast<double>(counts.size()));
+    }
+    analysis.rows.push_back(row);
+  }
+  std::sort(analysis.rows.begin(), analysis.rows.end(),
+            [](const FingerprintRow& a, const FingerprintRow& b) {
+              if (a.type_count != b.type_count) return a.type_count < b.type_count;
+              return a.types < b.types;
+            });
+
+  // Aggregates per type_count (the paper's per-# summary columns).
+  std::map<int, FingerprintRow> totals;
+  std::map<int, std::set<std::size_t>> households_per_count;
+  for (const auto& row : analysis.rows) {
+    auto& total = totals[row.type_count];
+    total.type_count = row.type_count;
+    total.products += row.products;
+    total.vendors += row.vendors;
+    total.devices += row.devices;
+    total.uniquely_identified += row.uniquely_identified;
+    total.entropy_bits = std::max(total.entropy_bits, row.entropy_bits);
+  }
+  for (const auto& view : device_views)
+    households_per_count[view.types.count()].insert(view.household);
+  for (auto& [count, total] : totals) {
+    total.households = households_per_count[count].size();
+    analysis.by_count.push_back(total);
+  }
+  return analysis;
+}
+
+}  // namespace roomnet

@@ -1,0 +1,47 @@
+// Household-fingerprintability entropy analysis (§6.3 / Table 2): extract
+// names, UUIDs, and MAC addresses from every device's mDNS/SSDP response
+// payloads, group households by which identifier-type combinations they
+// expose, and compute per-combination uniqueness and entropy
+// (-log2(1/N) over distinct values, the EFF "Cover Your Tracks" measure).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "crowd/inspector.hpp"
+
+namespace roomnet {
+
+struct FingerprintRow {
+  /// Number of identifier types in this combination (Table 2's "#").
+  int type_count = 0;
+  ExposureClass types;                // which combination
+  std::size_t products = 0;           // "Pdt"
+  std::size_t vendors = 0;            // "Vdr"
+  std::size_t devices = 0;            // "Dev"
+  std::size_t households = 0;         // "Hse"
+  std::size_t uniquely_identified = 0;
+  double entropy_bits = 0;            // "Ent"
+
+  [[nodiscard]] double unique_pct() const {
+    return households == 0 ? 0
+                           : 100.0 * static_cast<double>(uniquely_identified) /
+                                 static_cast<double>(households);
+  }
+};
+
+struct FingerprintAnalysis {
+  /// One row per observed combination, plus the none-exposed row first.
+  std::vector<FingerprintRow> rows;
+  /// Summary rows aggregated by type_count (the paper's "⌃Hse" totals).
+  std::vector<FingerprintRow> by_count;
+};
+
+/// Extracts identifiers from one device's payloads (payload-text based;
+/// MACs validated against the device's OUI as IoT Inspector does).
+std::set<ExtractedIdentifier> device_identifiers(const InspectorDevice& device);
+
+FingerprintAnalysis fingerprint_households(const InspectorDataset& dataset);
+
+}  // namespace roomnet

@@ -1,0 +1,57 @@
+#include "crowd/geocode.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace roomnet {
+
+double GeoPoint::distance_m(const GeoPoint& other) const {
+  constexpr double kEarthRadiusM = 6371000.0;
+  const double to_rad = std::numbers::pi / 180.0;
+  const double dlat = (other.latitude - latitude) * to_rad;
+  const double dlon = (other.longitude - longitude) * to_rad;
+  const double a = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(latitude * to_rad) * std::cos(other.latitude * to_rad) *
+                       std::sin(dlon / 2) * std::sin(dlon / 2);
+  return 2 * kEarthRadiusM * std::atan2(std::sqrt(a), std::sqrt(1 - a));
+}
+
+void GeocodeIndex::add(const MacAddress& bssid, GeoPoint location) {
+  index_[bssid] = location;
+}
+
+std::optional<GeoPoint> GeocodeIndex::lookup(const MacAddress& bssid) const {
+  const auto it = index_.find(bssid);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool GeocodeIndex::resolves_within(const MacAddress& bssid,
+                                   const GeoPoint& truth,
+                                   double radius_m) const {
+  const auto located = lookup(bssid);
+  return located.has_value() && located->distance_m(truth) <= radius_m;
+}
+
+GeocodeIndex build_wardriving_index(Rng& rng, std::size_t ap_count,
+                                    const MacAddress& home_bssid,
+                                    GeoPoint home) {
+  GeocodeIndex index;
+  // Scatter APs over a ~10 km urban grid around the home.
+  for (std::size_t i = 0; i + 1 < ap_count; ++i) {
+    const MacAddress bssid = MacAddress::from_u64(
+        0x02c000000000ull | (rng.next_u64() & 0xffffffffffull));
+    GeoPoint point;
+    point.latitude = home.latitude + (rng.uniform() - 0.5) * 0.09;
+    point.longitude = home.longitude + (rng.uniform() - 0.5) * 0.09;
+    index.add(bssid, point);
+  }
+  // The victim's AP, observed with GPS noise of a few meters (1e-5 deg ~ 1 m).
+  GeoPoint observed = home;
+  observed.latitude += (rng.uniform() - 0.5) * 2e-5;
+  observed.longitude += (rng.uniform() - 0.5) * 2e-5;
+  index.add(home_bssid, observed);
+  return index;
+}
+
+}  // namespace roomnet

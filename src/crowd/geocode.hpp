@@ -1,0 +1,53 @@
+// Wardriving-database geolocation (§2): "router MAC addresses can be used
+// to infer device (and user) locations with street-level precision ...
+// developers and tracking services can use this data to query users'
+// geolocation from online geocoding services like Wigle."
+//
+// GeocodeIndex is the offline stand-in for such a service: a BSSID ->
+// coordinates database. The synthetic builder populates it the way
+// wardrivers do — by observing (BSSID, location) pairs — so the audit can
+// show that one harvested router MAC resolves to a street address.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netcore/address.hpp"
+#include "netcore/rng.hpp"
+
+namespace roomnet {
+
+struct GeoPoint {
+  double latitude = 0;
+  double longitude = 0;
+
+  /// Great-circle distance in meters (spherical earth).
+  [[nodiscard]] double distance_m(const GeoPoint& other) const;
+};
+
+class GeocodeIndex {
+ public:
+  void add(const MacAddress& bssid, GeoPoint location);
+  [[nodiscard]] std::optional<GeoPoint> lookup(const MacAddress& bssid) const;
+  [[nodiscard]] std::size_t size() const { return index_.size(); }
+
+  /// Street-level precision check: true when the database places the BSSID
+  /// within `radius_m` of the true location (Wigle-class accuracy ~30 m).
+  [[nodiscard]] bool resolves_within(const MacAddress& bssid,
+                                     const GeoPoint& truth,
+                                     double radius_m = 50) const;
+
+ private:
+  std::unordered_map<MacAddress, GeoPoint> index_;
+};
+
+/// A synthetic wardriving corpus over a city grid: `ap_count` access points
+/// whose observed positions carry a few meters of GPS noise, exactly one of
+/// which (`home_bssid`) is the victim household's AP at `home`.
+GeocodeIndex build_wardriving_index(Rng& rng, std::size_t ap_count,
+                                    const MacAddress& home_bssid,
+                                    GeoPoint home);
+
+}  // namespace roomnet

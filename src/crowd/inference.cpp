@@ -1,0 +1,81 @@
+#include "crowd/inference.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace roomnet {
+
+namespace {
+std::string lowered(std::string_view text) {
+  std::string out(text);
+  for (auto& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool contains_ci(const std::string& haystack, const std::string& needle) {
+  return lowered(haystack).find(lowered(needle)) != std::string::npos;
+}
+}  // namespace
+
+DeviceInference::DeviceInference(const InspectorDataset& dataset) {
+  std::set<std::string> vendors, categories;
+  for (const auto& product : dataset.products) {
+    vendors.insert(product.vendor);
+    categories.insert(product.category);
+  }
+  vendors_.assign(vendors.begin(), vendors.end());
+  categories_.assign(categories.begin(), categories.end());
+  // Prefer longer vendor names first so "LumoTech2" beats "Lumo".
+  std::sort(vendors_.begin(), vendors_.end(),
+            [](const std::string& a, const std::string& b) {
+              return a.size() > b.size();
+            });
+}
+
+InferredIdentity DeviceInference::infer(const InspectorDevice& device) const {
+  InferredIdentity identity;
+  // Evidence in priority order: user label, DHCP hostname, payloads.
+  std::vector<const std::string*> evidence;
+  if (!device.user_label.empty()) evidence.push_back(&device.user_label);
+  evidence.push_back(&device.dhcp_hostname);
+  for (const auto& payload : device.mdns_responses) evidence.push_back(&payload);
+  for (const auto& payload : device.ssdp_responses) evidence.push_back(&payload);
+
+  for (const std::string* text : evidence) {
+    if (!identity.vendor) {
+      for (const auto& vendor : vendors_) {
+        if (contains_ci(*text, vendor)) {
+          identity.vendor = vendor;
+          break;
+        }
+      }
+    }
+    if (!identity.category) {
+      for (const auto& category : categories_) {
+        if (contains_ci(*text, category)) {
+          identity.category = category;
+          break;
+        }
+      }
+    }
+    if (identity.vendor && identity.category) break;
+  }
+  return identity;
+}
+
+DeviceInference::Accuracy DeviceInference::evaluate(
+    const InspectorDataset& dataset) const {
+  Accuracy accuracy;
+  for (const auto& device : dataset.devices) {
+    ++accuracy.total;
+    const InferredIdentity identity = infer(device);
+    if (!identity.vendor && !identity.category) continue;
+    ++accuracy.answered;
+    const ProductProfile& truth = dataset.product_of(device);
+    if (identity.vendor == truth.vendor) ++accuracy.vendor_correct;
+    if (identity.category == truth.category) ++accuracy.category_correct;
+  }
+  return accuracy;
+}
+
+}  // namespace roomnet

@@ -1,0 +1,52 @@
+// Device-identity inference (Appendix E). The paper feeds DHCP hostnames,
+// mDNS/SSDP payloads, and noisy crowdsourced labels to an LLM to infer each
+// device's vendor and category. Offline substitute: a lexicon/heuristic
+// engine over the same inputs (the substitution preserves the pipeline: same
+// inputs, same output schema, accuracy measured against generator truth).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "crowd/inspector.hpp"
+
+namespace roomnet {
+
+struct InferredIdentity {
+  std::optional<std::string> vendor;
+  std::optional<std::string> category;
+};
+
+class DeviceInference {
+ public:
+  /// Builds the lexicon from the dataset's product vocabulary (the analog
+  /// of the LLM's world knowledge about device brands).
+  explicit DeviceInference(const InspectorDataset& dataset);
+
+  [[nodiscard]] InferredIdentity infer(const InspectorDevice& device) const;
+
+  struct Accuracy {
+    std::size_t total = 0;
+    std::size_t vendor_correct = 0;
+    std::size_t category_correct = 0;
+    std::size_t answered = 0;  // non-empty inference
+
+    [[nodiscard]] double vendor_accuracy() const {
+      return answered == 0 ? 0
+                           : static_cast<double>(vendor_correct) /
+                                 static_cast<double>(answered);
+    }
+    [[nodiscard]] double coverage() const {
+      return total == 0 ? 0
+                        : static_cast<double>(answered) /
+                              static_cast<double>(total);
+    }
+  };
+  [[nodiscard]] Accuracy evaluate(const InspectorDataset& dataset) const;
+
+ private:
+  std::vector<std::string> vendors_;
+  std::vector<std::string> categories_;
+};
+
+}  // namespace roomnet

@@ -1,0 +1,23 @@
+// SHA-256 (FIPS 180-4) and HMAC-SHA256 (RFC 2104), implemented from
+// scratch. IoT Inspector pseudonymizes device MACs as
+// HMAC-SHA256(per-user salt, MAC) (§3.3 footnote); the crowd dataset
+// generator does the same.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "netcore/bytes.hpp"
+
+namespace roomnet {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+Sha256Digest sha256(BytesView data);
+Sha256Digest hmac_sha256(BytesView key, BytesView message);
+
+/// Hex form of the digest.
+std::string sha256_hex(BytesView data);
+std::string hmac_sha256_hex(BytesView key, BytesView message);
+
+}  // namespace roomnet

@@ -1,0 +1,95 @@
+// Protocol honeypots (§3.1): emulated smart devices deployed inside the lab
+// that answer SSDP/mDNS/HTTP/Telnet interactions with authentic-looking
+// responses whose identifying fields are unique honeytokens. Because every
+// token value exists nowhere else, any later appearance — in another
+// device's traffic, in a mobile app's cloud upload — proves propagation;
+// that is the "track how information propagates through the IoT devices"
+// capability the paper describes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "classify/label.hpp"
+#include "netcore/rng.hpp"
+#include "netcore/uuid.hpp"
+#include "sim/host.hpp"
+#include "sim/mdns.hpp"
+#include "sim/ssdp.hpp"
+
+namespace roomnet {
+
+/// What a honeypot emulates.
+enum class HoneypotPersona {
+  kMediaRenderer,  // SSDP/UPnP TV: description.xml, friendlyName/UUID tokens
+  kZeroconfSpeaker,  // mDNS speaker: instance/TXT tokens
+  kIpCamera,         // HTTP camera: banner + snapshot-path tokens
+  kTelnetShell,      // telnet: login-banner token
+};
+
+struct HoneyToken {
+  std::string field;  // "friendlyName", "uuid", "txt.id", "banner"
+  std::string value;  // globally unique
+};
+
+struct HoneypotInteraction {
+  SimTime at;
+  MacAddress from;
+  ProtocolLabel protocol = ProtocolLabel::kUnknown;
+  std::string detail;  // "M-SEARCH ssdp:all", "GET /description.xml", ...
+};
+
+class Honeypot {
+ public:
+  Honeypot(Switch& net, MacAddress mac, HoneypotPersona persona, Rng& rng);
+
+  /// DHCPs onto the network and starts serving the persona.
+  void start();
+
+  [[nodiscard]] Host& host() { return host_; }
+  [[nodiscard]] HoneypotPersona persona() const { return persona_; }
+  [[nodiscard]] const std::vector<HoneyToken>& tokens() const { return tokens_; }
+  [[nodiscard]] const std::vector<HoneypotInteraction>& interactions() const {
+    return interactions_;
+  }
+  /// Interactions from a specific source.
+  [[nodiscard]] std::vector<HoneypotInteraction> interactions_from(
+      MacAddress mac) const;
+
+ private:
+  void record(MacAddress from, ProtocolLabel protocol, std::string detail);
+  void setup_media_renderer();
+  void setup_zeroconf_speaker();
+  void setup_ip_camera();
+  void setup_telnet_shell();
+  std::string make_token(const std::string& field);
+
+  Host host_;
+  HoneypotPersona persona_;
+  Rng rng_;
+  std::vector<HoneyToken> tokens_;
+  std::vector<HoneypotInteraction> interactions_;
+  std::optional<MdnsEndpoint> mdns_;
+  std::optional<SsdpEndpoint> ssdp_;
+};
+
+/// Finds honeytoken values in arbitrary byte streams (device traffic, app
+/// cloud uploads). The core of the propagation analysis.
+class PropagationTracker {
+ public:
+  void register_tokens(const Honeypot& honeypot);
+  void register_token(HoneyToken token) { tokens_.push_back(std::move(token)); }
+
+  struct Match {
+    HoneyToken token;
+    std::string context;
+  };
+  /// Scans a payload; `context` labels where the bytes came from.
+  [[nodiscard]] std::vector<Match> scan(BytesView payload,
+                                        const std::string& context) const;
+
+ private:
+  std::vector<HoneyToken> tokens_;
+};
+
+}  // namespace roomnet

@@ -1,0 +1,283 @@
+#include "netcore/address.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+
+namespace roomnet {
+
+const MacAddress MacAddress::kBroadcast =
+    MacAddress(std::array<std::uint8_t, 6>{0xff, 0xff, 0xff, 0xff, 0xff, 0xff});
+
+namespace {
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::optional<MacAddress> MacAddress::parse(std::string_view text) {
+  std::array<std::uint8_t, 6> o{};
+  std::size_t i = 0;
+  std::size_t octet = 0;
+  while (octet < 6) {
+    if (i + 2 > text.size()) return std::nullopt;
+    const int hi = hex_nibble(text[i]);
+    const int lo = hex_nibble(text[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    o[octet++] = static_cast<std::uint8_t>((hi << 4) | lo);
+    i += 2;
+    if (octet < 6) {
+      if (i < text.size() && (text[i] == ':' || text[i] == '-')) ++i;
+    }
+  }
+  if (i != text.size()) return std::nullopt;
+  return MacAddress(o);
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0],
+                octets_[1], octets_[2], octets_[3], octets_[4], octets_[5]);
+  return buf;
+}
+
+std::string MacAddress::to_string_plain() const {
+  char buf[13];
+  std::snprintf(buf, sizeof buf, "%02X%02X%02X%02X%02X%02X", octets_[0],
+                octets_[1], octets_[2], octets_[3], octets_[4], octets_[5]);
+  return buf;
+}
+
+std::string MacAddress::oui_string() const {
+  char buf[9];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x", octets_[0], octets_[1],
+                octets_[2]);
+  return buf;
+}
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::uint32_t v = 0;
+  int parts = 0;
+  std::size_t i = 0;
+  while (parts < 4) {
+    if (i >= text.size()) return std::nullopt;
+    unsigned part = 0;
+    const char* begin = text.data() + i;
+    const char* end = text.data() + text.size();
+    auto [p, ec] = std::from_chars(begin, end, part);
+    if (ec != std::errc{} || part > 255 || p == begin) return std::nullopt;
+    v = (v << 8) | part;
+    i = static_cast<std::size_t>(p - text.data());
+    ++parts;
+    if (parts < 4) {
+      if (i >= text.size() || text[i] != '.') return std::nullopt;
+      ++i;
+    }
+  }
+  if (i != text.size()) return std::nullopt;
+  return Ipv4Address(v);
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+std::optional<Ipv6Address> Ipv6Address::parse(std::string_view text) {
+  // Supports the common forms: full, "::" compression, no embedded IPv4.
+  std::array<std::uint16_t, 8> groups{};
+  int n_before = 0;
+  std::array<std::uint16_t, 8> after{};
+  int n_after = 0;
+  bool seen_compress = false;
+  std::size_t i = 0;
+
+  auto parse_group = [&](std::uint16_t& out) -> bool {
+    unsigned v = 0;
+    const char* begin = text.data() + i;
+    const char* end = text.data() + text.size();
+    auto [p, ec] = std::from_chars(begin, end, v, 16);
+    if (ec != std::errc{} || p == begin || v > 0xffff) return false;
+    out = static_cast<std::uint16_t>(v);
+    i = static_cast<std::size_t>(p - text.data());
+    return true;
+  };
+
+  if (text.starts_with("::")) {
+    seen_compress = true;
+    i = 2;
+  }
+  while (i < text.size()) {
+    std::uint16_t g = 0;
+    if (!parse_group(g)) return std::nullopt;
+    if (!seen_compress) {
+      if (n_before >= 8) return std::nullopt;
+      groups[static_cast<std::size_t>(n_before++)] = g;
+    } else {
+      if (n_after >= 8) return std::nullopt;
+      after[static_cast<std::size_t>(n_after++)] = g;
+    }
+    if (i == text.size()) break;
+    if (text[i] != ':') return std::nullopt;
+    ++i;
+    if (i < text.size() && text[i] == ':') {
+      if (seen_compress) return std::nullopt;
+      seen_compress = true;
+      ++i;
+    } else if (i == text.size()) {
+      return std::nullopt;  // trailing single colon
+    }
+  }
+  if (!seen_compress && n_before != 8) return std::nullopt;
+  if (seen_compress && n_before + n_after >= 8) return std::nullopt;
+
+  std::array<std::uint16_t, 8> full{};
+  for (int k = 0; k < n_before; ++k) full[static_cast<std::size_t>(k)] = groups[static_cast<std::size_t>(k)];
+  for (int k = 0; k < n_after; ++k)
+    full[static_cast<std::size_t>(8 - n_after + k)] = after[static_cast<std::size_t>(k)];
+
+  std::array<std::uint8_t, 16> bytes{};
+  for (int k = 0; k < 8; ++k) {
+    bytes[static_cast<std::size_t>(2 * k)] = static_cast<std::uint8_t>(full[static_cast<std::size_t>(k)] >> 8);
+    bytes[static_cast<std::size_t>(2 * k + 1)] = static_cast<std::uint8_t>(full[static_cast<std::size_t>(k)]);
+  }
+  return Ipv6Address(bytes);
+}
+
+Ipv6Address Ipv6Address::link_local_from_mac(const MacAddress& mac) {
+  std::array<std::uint8_t, 16> b{};
+  b[0] = 0xfe;
+  b[1] = 0x80;
+  const auto& o = mac.octets();
+  b[8] = static_cast<std::uint8_t>(o[0] ^ 0x02);  // flip U/L bit (EUI-64)
+  b[9] = o[1];
+  b[10] = o[2];
+  b[11] = 0xff;
+  b[12] = 0xfe;
+  b[13] = o[3];
+  b[14] = o[4];
+  b[15] = o[5];
+  return Ipv6Address(b);
+}
+
+Ipv6Address Ipv6Address::all_nodes() {
+  std::array<std::uint8_t, 16> b{};
+  b[0] = 0xff;
+  b[1] = 0x02;
+  b[15] = 0x01;
+  return Ipv6Address(b);
+}
+
+Ipv6Address Ipv6Address::mdns_group() {
+  std::array<std::uint8_t, 16> b{};
+  b[0] = 0xff;
+  b[1] = 0x02;
+  b[15] = 0xfb;
+  return Ipv6Address(b);
+}
+
+Ipv6Address Ipv6Address::solicited_node(const Ipv6Address& target) {
+  std::array<std::uint8_t, 16> b{};
+  b[0] = 0xff;
+  b[1] = 0x02;
+  b[11] = 0x01;
+  b[12] = 0xff;
+  b[13] = target.bytes()[13];
+  b[14] = target.bytes()[14];
+  b[15] = target.bytes()[15];
+  return Ipv6Address(b);
+}
+
+std::string Ipv6Address::to_string() const {
+  std::array<std::uint16_t, 8> g{};
+  for (int k = 0; k < 8; ++k)
+    g[static_cast<std::size_t>(k)] =
+        static_cast<std::uint16_t>((bytes_[static_cast<std::size_t>(2 * k)] << 8) |
+                                   bytes_[static_cast<std::size_t>(2 * k + 1)]);
+  // Find the longest run of zero groups (length >= 2) for "::" compression.
+  int best_start = -1, best_len = 0;
+  for (int k = 0; k < 8;) {
+    if (g[static_cast<std::size_t>(k)] == 0) {
+      int j = k;
+      while (j < 8 && g[static_cast<std::size_t>(j)] == 0) ++j;
+      if (j - k > best_len) {
+        best_len = j - k;
+        best_start = k;
+      }
+      k = j;
+    } else {
+      ++k;
+    }
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  char buf[8];
+  for (int k = 0; k < 8; ++k) {
+    if (k == best_start) {
+      out += "::";
+      k += best_len - 1;
+      if (k == 7) break;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    std::snprintf(buf, sizeof buf, "%x", g[static_cast<std::size_t>(k)]);
+    out += buf;
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+OuiRegistry::OuiRegistry() = default;
+
+void OuiRegistry::add(std::uint32_t oui, std::string vendor) {
+  entries_.push_back({oui, std::move(vendor)});
+}
+
+std::optional<std::string> OuiRegistry::vendor_of(const MacAddress& mac) const {
+  const std::uint32_t oui = mac.oui();
+  for (const auto& e : entries_)
+    if (e.oui == oui) return e.vendor;
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> OuiRegistry::oui_of(std::string_view vendor) const {
+  for (const auto& e : entries_)
+    if (e.vendor == vendor) return e.oui;
+  return std::nullopt;
+}
+
+const OuiRegistry& OuiRegistry::builtin() {
+  static const OuiRegistry registry = [] {
+    OuiRegistry r;
+    // Synthetic but stable OUIs; one per vendor that appears in the testbed
+    // catalog or the crowdsourced generator. Locally-administered prefixes
+    // (0x02 first octet) keep them from colliding with real assignments.
+    const char* vendors[] = {
+        "Amazon",   "Google",     "Apple",     "TP-Link",  "Tuya",
+        "Philips",  "Samsung",    "LG",        "Ring",     "Wyze",
+        "Roku",     "Sonos",      "Belkin",    "Meross",   "Xiaomi",
+        "D-Link",   "Arlo",       "Blink",     "Amcrest",  "Wansview",
+        "Yi",       "Lefun",      "Microseven","Ubell",    "ICSee",
+        "Nintendo", "Withings",   "Renpho",    "Oxylink",  "Keyco",
+        "Anova",    "Behmor",     "Blueair",   "GE",       "Smarter",
+        "Aqara",    "IKEA",       "MagicHome", "Sengled",  "SmartThings",
+        "SwitchBot","Wiz",        "Yeelight",  "TiVo",     "Meta",
+        "Sony",     "Vizio",      "Ecobee",    "Nanoleaf", "Lifx",
+        "Netatmo",  "Eufy",       "Govee",     "Kasa",     "Honeywell",
+        "Bose",     "Canon",      "HP",        "Epson",    "Brother",
+        "Netgear",  "Asus",       "Synology",  "WeMo",     "Nest",
+    };
+    std::uint32_t base = 0x02A000;
+    for (const char* v : vendors) r.add(base++, v);
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace roomnet

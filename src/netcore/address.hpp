@@ -1,0 +1,191 @@
+// Strongly typed network addresses (MAC, IPv4, IPv6) and the OUI registry
+// used to attribute MAC addresses to vendors (as IoT Inspector does).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "netcore/bytes.hpp"
+
+namespace roomnet {
+
+/// 48-bit IEEE 802 MAC address. Value type, totally ordered, hashable.
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  explicit constexpr MacAddress(std::array<std::uint8_t, 6> octets)
+      : octets_(octets) {}
+
+  /// From the low 48 bits of an integer (convenient for generators).
+  static constexpr MacAddress from_u64(std::uint64_t v) {
+    std::array<std::uint8_t, 6> o{};
+    for (int i = 5; i >= 0; --i) {
+      o[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v);
+      v >>= 8;
+    }
+    return MacAddress(o);
+  }
+  /// Parses "aa:bb:cc:dd:ee:ff" or "aa-bb-cc-dd-ee-ff" (case-insensitive).
+  static std::optional<MacAddress> parse(std::string_view text);
+
+  [[nodiscard]] constexpr const std::array<std::uint8_t, 6>& octets() const {
+    return octets_;
+  }
+  [[nodiscard]] constexpr std::uint64_t to_u64() const {
+    std::uint64_t v = 0;
+    for (std::uint8_t o : octets_) v = (v << 8) | o;
+    return v;
+  }
+  /// First three octets: the Organizationally Unique Identifier.
+  [[nodiscard]] constexpr std::uint32_t oui() const {
+    return (static_cast<std::uint32_t>(octets_[0]) << 16) |
+           (static_cast<std::uint32_t>(octets_[1]) << 8) | octets_[2];
+  }
+  [[nodiscard]] bool is_broadcast() const { return to_u64() == 0xffffffffffffULL; }
+  /// IEEE group bit (eth.dst.ig in the paper's Appendix C.1 filter): set for
+  /// multicast and broadcast destinations.
+  [[nodiscard]] constexpr bool is_multicast() const { return (octets_[0] & 0x01) != 0; }
+
+  [[nodiscard]] std::string to_string() const;             // "aa:bb:cc:dd:ee:ff"
+  [[nodiscard]] std::string to_string_plain() const;       // "AABBCCDDEEFF"
+  [[nodiscard]] std::string oui_string() const;            // "aa:bb:cc"
+
+  friend constexpr auto operator<=>(const MacAddress&, const MacAddress&) = default;
+
+  static const MacAddress kBroadcast;
+
+ private:
+  std::array<std::uint8_t, 6> octets_{};
+};
+
+/// IPv4 address stored in host order internally; wire codecs convert.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  explicit constexpr Ipv4Address(std::uint32_t host_order) : value_(host_order) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((static_cast<std::uint32_t>(a) << 24) |
+               (static_cast<std::uint32_t>(b) << 16) |
+               (static_cast<std::uint32_t>(c) << 8) | d) {}
+
+  static std::optional<Ipv4Address> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] std::string to_string() const;
+
+  /// RFC 1918 + loopback + link-local: the paper's "local" IP test.
+  [[nodiscard]] constexpr bool is_private() const {
+    const std::uint32_t v = value_;
+    return (v >> 24) == 10 ||                       // 10.0.0.0/8
+           (v >> 20) == 0xac1 ||                    // 172.16.0.0/12
+           (v >> 16) == 0xc0a8 ||                   // 192.168.0.0/16
+           (v >> 16) == 0xa9fe ||                   // 169.254.0.0/16 link-local
+           (v >> 24) == 127;                        // loopback
+  }
+  [[nodiscard]] constexpr bool is_multicast() const { return (value_ >> 28) == 0xe; }
+  [[nodiscard]] constexpr bool is_broadcast() const { return value_ == 0xffffffff; }
+  /// Subnet-directed broadcast for /24 (e.g. 192.168.0.255).
+  [[nodiscard]] constexpr bool is_subnet_broadcast24() const {
+    return (value_ & 0xff) == 0xff && !is_multicast();
+  }
+  [[nodiscard]] constexpr bool in_subnet(Ipv4Address network, int prefix_len) const {
+    if (prefix_len <= 0) return true;
+    const std::uint32_t mask =
+        prefix_len >= 32 ? 0xffffffffu : ~((1u << (32 - prefix_len)) - 1);
+    return (value_ & mask) == (network.value_ & mask);
+  }
+
+  friend constexpr auto operator<=>(const Ipv4Address&, const Ipv4Address&) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// IPv6 address (16 bytes). Formatting uses the canonical RFC 5952 form.
+class Ipv6Address {
+ public:
+  constexpr Ipv6Address() = default;
+  explicit constexpr Ipv6Address(std::array<std::uint8_t, 16> bytes) : bytes_(bytes) {}
+
+  static std::optional<Ipv6Address> parse(std::string_view text);
+  /// Link-local (fe80::/64) address derived from a MAC via modified EUI-64,
+  /// as SLAAC does (paper §5.1 ICMPv6).
+  static Ipv6Address link_local_from_mac(const MacAddress& mac);
+  /// Well-known multicast groups.
+  static Ipv6Address all_nodes();         // ff02::1
+  static Ipv6Address mdns_group();        // ff02::fb
+  static Ipv6Address solicited_node(const Ipv6Address& target);  // ff02::1:ffXX:XXXX
+
+  [[nodiscard]] constexpr const std::array<std::uint8_t, 16>& bytes() const {
+    return bytes_;
+  }
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] constexpr bool is_multicast() const { return bytes_[0] == 0xff; }
+  [[nodiscard]] constexpr bool is_link_local() const {
+    return bytes_[0] == 0xfe && (bytes_[1] & 0xc0) == 0x80;
+  }
+  [[nodiscard]] constexpr bool is_unspecified() const {
+    for (auto b : bytes_)
+      if (b != 0) return false;
+    return true;
+  }
+
+  friend constexpr auto operator<=>(const Ipv6Address&, const Ipv6Address&) = default;
+
+ private:
+  std::array<std::uint8_t, 16> bytes_{};
+};
+
+/// Transport-layer port, a distinct type to avoid int soup in flow tuples.
+enum class Port : std::uint16_t {};
+constexpr Port port(std::uint16_t p) { return static_cast<Port>(p); }
+constexpr std::uint16_t value(Port p) { return static_cast<std::uint16_t>(p); }
+
+/// Maps an OUI (first 3 MAC octets) to a vendor name. Seeded with the vendors
+/// present in the MonIoTr testbed and the crowdsourced dataset generator;
+/// additional entries can be registered at runtime.
+class OuiRegistry {
+ public:
+  /// Registry pre-populated with the vendors used across roomnet.
+  static const OuiRegistry& builtin();
+
+  OuiRegistry();
+  void add(std::uint32_t oui, std::string vendor);
+  [[nodiscard]] std::optional<std::string> vendor_of(const MacAddress& mac) const;
+  [[nodiscard]] std::optional<std::uint32_t> oui_of(std::string_view vendor) const;
+
+ private:
+  struct Entry {
+    std::uint32_t oui;
+    std::string vendor;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace roomnet
+
+template <>
+struct std::hash<roomnet::MacAddress> {
+  std::size_t operator()(const roomnet::MacAddress& m) const noexcept {
+    return std::hash<std::uint64_t>{}(m.to_u64());
+  }
+};
+template <>
+struct std::hash<roomnet::Ipv4Address> {
+  std::size_t operator()(const roomnet::Ipv4Address& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+template <>
+struct std::hash<roomnet::Ipv6Address> {
+  std::size_t operator()(const roomnet::Ipv6Address& a) const noexcept {
+    std::size_t h = 1469598103934665603ull;
+    for (auto b : a.bytes()) h = (h ^ b) * 1099511628211ull;
+    return h;
+  }
+};

@@ -1,0 +1,113 @@
+#include "netcore/bytes.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace roomnet {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+constexpr char kB64Digits[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+int b64_value(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(BytesView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xf]);
+  }
+  return out;
+}
+
+std::optional<Bytes> from_hex(std::string_view hex) {
+  Bytes out;
+  int hi = -1;
+  for (char c : hex) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    const int v = hex_value(c);
+    if (v < 0) return std::nullopt;
+    if (hi < 0) {
+      hi = v;
+    } else {
+      out.push_back(static_cast<std::uint8_t>((hi << 4) | v));
+      hi = -1;
+    }
+  }
+  if (hi >= 0) return std::nullopt;  // odd number of digits
+  return out;
+}
+
+std::string base64_encode(BytesView data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 3 <= data.size()) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+                            data[i + 2];
+    out.push_back(kB64Digits[(v >> 18) & 0x3f]);
+    out.push_back(kB64Digits[(v >> 12) & 0x3f]);
+    out.push_back(kB64Digits[(v >> 6) & 0x3f]);
+    out.push_back(kB64Digits[v & 0x3f]);
+    i += 3;
+  }
+  const std::size_t rem = data.size() - i;
+  if (rem == 1) {
+    const std::uint32_t v = static_cast<std::uint32_t>(data[i]) << 16;
+    out.push_back(kB64Digits[(v >> 18) & 0x3f]);
+    out.push_back(kB64Digits[(v >> 12) & 0x3f]);
+    out.append("==");
+  } else if (rem == 2) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8);
+    out.push_back(kB64Digits[(v >> 18) & 0x3f]);
+    out.push_back(kB64Digits[(v >> 12) & 0x3f]);
+    out.push_back(kB64Digits[(v >> 6) & 0x3f]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::optional<Bytes> base64_decode(std::string_view text) {
+  Bytes out;
+  std::uint32_t acc = 0;
+  int bits = 0;
+  int pad = 0;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    if (c == '=') {
+      ++pad;
+      continue;
+    }
+    if (pad > 0) return std::nullopt;  // data after padding
+    const int v = b64_value(c);
+    if (v < 0) return std::nullopt;
+    acc = (acc << 6) | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>(acc >> bits));
+    }
+  }
+  return out;
+}
+
+}  // namespace roomnet

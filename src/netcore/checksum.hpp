@@ -1,0 +1,23 @@
+// Internet checksum (RFC 1071) and the UDP/TCP pseudo-header variants.
+#pragma once
+
+#include <cstdint>
+
+#include "netcore/address.hpp"
+#include "netcore/bytes.hpp"
+
+namespace roomnet {
+
+/// One's-complement sum folded to 16 bits over `data` (odd tail padded).
+std::uint16_t internet_checksum(BytesView data);
+
+/// Checksum of a TCP/UDP segment including the IPv4 pseudo-header.
+std::uint16_t transport_checksum_v4(Ipv4Address src, Ipv4Address dst,
+                                    std::uint8_t protocol, BytesView segment);
+
+/// Checksum of a TCP/UDP/ICMPv6 payload including the IPv6 pseudo-header.
+std::uint16_t transport_checksum_v6(const Ipv6Address& src,
+                                    const Ipv6Address& dst,
+                                    std::uint8_t next_header, BytesView segment);
+
+}  // namespace roomnet

@@ -1,0 +1,273 @@
+// Wire-format codecs for the link/network/transport layers, plus a decoded
+// `Packet` view that the capture/classification pipeline operates on.
+//
+// Every encoder produces genuine wire bytes (correct framing and checksums);
+// every decoder is safe on arbitrary untrusted input and returns nullopt on
+// malformed data.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "netcore/address.hpp"
+#include "netcore/bytes.hpp"
+
+namespace roomnet {
+
+// ---------------------------------------------------------------------------
+// Ethernet
+// ---------------------------------------------------------------------------
+
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,
+  kArp = 0x0806,
+  kIpv6 = 0x86dd,
+  kEapol = 0x888e,
+};
+
+struct EthernetFrame {
+  MacAddress dst;
+  MacAddress src;
+  std::uint16_t ethertype = 0;  // or length if < 1536 (LLC framing)
+  Bytes payload;
+
+  [[nodiscard]] bool is_llc() const { return ethertype < 1536; }
+};
+
+Bytes encode_ethernet(const EthernetFrame& frame);
+std::optional<EthernetFrame> decode_ethernet(BytesView raw);
+
+// ---------------------------------------------------------------------------
+// ARP (RFC 826) — Ethernet/IPv4 only, which is all the paper's LANs use.
+// ---------------------------------------------------------------------------
+
+enum class ArpOp : std::uint16_t { kRequest = 1, kReply = 2 };
+
+struct ArpPacket {
+  ArpOp op = ArpOp::kRequest;
+  MacAddress sender_mac;
+  Ipv4Address sender_ip;
+  MacAddress target_mac;  // zero in requests
+  Ipv4Address target_ip;
+};
+
+Bytes encode_arp(const ArpPacket& arp);
+std::optional<ArpPacket> decode_arp(BytesView raw);
+
+// ---------------------------------------------------------------------------
+// LLC / XID — the paper observes XID/LLC broadcast discovery frames.
+// ---------------------------------------------------------------------------
+
+struct LlcXidFrame {
+  std::uint8_t dsap = 0;
+  std::uint8_t ssap = 0;
+  bool is_xid = false;  // control byte 0xAF/0xBF
+  Bytes info;
+};
+
+/// Encodes the LLC payload (placed in an Ethernet frame with length field).
+Bytes encode_llc_xid(const LlcXidFrame& frame);
+std::optional<LlcXidFrame> decode_llc(BytesView raw);
+
+// ---------------------------------------------------------------------------
+// EAPOL (IEEE 802.1X) — observed on 84% of devices (Wi-Fi key exchanges).
+// ---------------------------------------------------------------------------
+
+enum class EapolType : std::uint8_t { kEapPacket = 0, kStart = 1, kLogoff = 2, kKey = 3 };
+
+struct EapolFrame {
+  std::uint8_t version = 2;
+  EapolType type = EapolType::kKey;
+  Bytes body;
+};
+
+Bytes encode_eapol(const EapolFrame& frame);
+std::optional<EapolFrame> decode_eapol(BytesView raw);
+
+// ---------------------------------------------------------------------------
+// IPv4
+// ---------------------------------------------------------------------------
+
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kIgmp = 2,
+  kTcp = 6,
+  kUdp = 17,
+  kIcmpv6 = 58,
+};
+
+struct Ipv4Packet {
+  Ipv4Address src;
+  Ipv4Address dst;
+  std::uint8_t protocol = 0;
+  std::uint8_t ttl = 64;
+  std::uint16_t identification = 0;
+  Bytes payload;
+};
+
+Bytes encode_ipv4(const Ipv4Packet& packet);
+std::optional<Ipv4Packet> decode_ipv4(BytesView raw);
+
+// ---------------------------------------------------------------------------
+// IPv6 (no extension headers; next-header is the transport protocol)
+// ---------------------------------------------------------------------------
+
+struct Ipv6Packet {
+  Ipv6Address src;
+  Ipv6Address dst;
+  std::uint8_t next_header = 0;
+  std::uint8_t hop_limit = 255;
+  Bytes payload;
+};
+
+Bytes encode_ipv6(const Ipv6Packet& packet);
+std::optional<Ipv6Packet> decode_ipv6(BytesView raw);
+
+// ---------------------------------------------------------------------------
+// UDP
+// ---------------------------------------------------------------------------
+
+struct UdpDatagram {
+  Port src_port{};
+  Port dst_port{};
+  Bytes payload;
+};
+
+/// Checksum requires the enclosing IP addresses.
+Bytes encode_udp_v4(const UdpDatagram& udp, Ipv4Address src, Ipv4Address dst);
+Bytes encode_udp_v6(const UdpDatagram& udp, const Ipv6Address& src,
+                    const Ipv6Address& dst);
+std::optional<UdpDatagram> decode_udp(BytesView raw);
+
+// ---------------------------------------------------------------------------
+// TCP
+// ---------------------------------------------------------------------------
+
+struct TcpFlags {
+  bool fin = false;
+  bool syn = false;
+  bool rst = false;
+  bool psh = false;
+  bool ack = false;
+
+  [[nodiscard]] std::uint8_t to_byte() const {
+    return static_cast<std::uint8_t>((fin ? 0x01 : 0) | (syn ? 0x02 : 0) |
+                                     (rst ? 0x04 : 0) | (psh ? 0x08 : 0) |
+                                     (ack ? 0x10 : 0));
+  }
+  static TcpFlags from_byte(std::uint8_t b) {
+    return {.fin = (b & 0x01) != 0,
+            .syn = (b & 0x02) != 0,
+            .rst = (b & 0x04) != 0,
+            .psh = (b & 0x08) != 0,
+            .ack = (b & 0x10) != 0};
+  }
+};
+
+struct TcpSegment {
+  Port src_port{};
+  Port dst_port{};
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  TcpFlags flags;
+  std::uint16_t window = 65535;
+  Bytes payload;
+};
+
+Bytes encode_tcp_v4(const TcpSegment& tcp, Ipv4Address src, Ipv4Address dst);
+std::optional<TcpSegment> decode_tcp(BytesView raw);
+
+// ---------------------------------------------------------------------------
+// ICMP / ICMPv6 / IGMP — enough structure for discovery & scan analysis.
+// ---------------------------------------------------------------------------
+
+struct IcmpMessage {
+  std::uint8_t type = 8;  // 8 echo request, 0 echo reply, 3 unreachable
+  std::uint8_t code = 0;
+  Bytes body;
+};
+
+Bytes encode_icmp(const IcmpMessage& icmp);
+std::optional<IcmpMessage> decode_icmp(BytesView raw);
+
+/// ICMPv6 types used by the simulator (NDP per RFC 4861, as §5.1 discusses).
+enum class Icmpv6Type : std::uint8_t {
+  kEchoRequest = 128,
+  kEchoReply = 129,
+  kRouterSolicitation = 133,
+  kRouterAdvertisement = 134,
+  kNeighborSolicitation = 135,
+  kNeighborAdvertisement = 136,
+};
+
+struct Icmpv6Message {
+  Icmpv6Type type = Icmpv6Type::kNeighborSolicitation;
+  std::uint8_t code = 0;
+  /// For NS/NA: the target address; carried in the body.
+  std::optional<Ipv6Address> target;
+  /// Source/target link-layer address option — this is the MAC exposure the
+  /// paper flags (§5.1 "ICMPv6 queries can include the MAC addresses").
+  std::optional<MacAddress> link_layer_option;
+  Bytes extra;
+};
+
+Bytes encode_icmpv6(const Icmpv6Message& msg, const Ipv6Address& src,
+                    const Ipv6Address& dst);
+std::optional<Icmpv6Message> decode_icmpv6(BytesView raw);
+
+struct IgmpMessage {
+  std::uint8_t type = 0x16;  // 0x16 v2 report, 0x22 v3 report, 0x17 leave
+  Ipv4Address group;
+};
+
+Bytes encode_igmp(const IgmpMessage& msg);
+std::optional<IgmpMessage> decode_igmp(BytesView raw);
+
+// ---------------------------------------------------------------------------
+// Decoded packet view
+// ---------------------------------------------------------------------------
+
+/// Fully decoded frame: the parse of each present layer. Produced by
+/// decode_frame() and consumed by the capture filter, flow assembler, and
+/// both traffic classifiers.
+struct Packet {
+  EthernetFrame eth;
+  std::optional<ArpPacket> arp;
+  std::optional<LlcXidFrame> llc;
+  std::optional<EapolFrame> eapol;
+  std::optional<Ipv4Packet> ipv4;
+  std::optional<Ipv6Packet> ipv6;
+  std::optional<UdpDatagram> udp;
+  std::optional<TcpSegment> tcp;
+  std::optional<IcmpMessage> icmp;
+  std::optional<Icmpv6Message> icmpv6;
+  std::optional<IgmpMessage> igmp;
+
+  [[nodiscard]] bool has_ip() const { return ipv4.has_value() || ipv6.has_value(); }
+  [[nodiscard]] bool has_transport() const { return udp.has_value() || tcp.has_value(); }
+  /// Application payload if a transport layer is present.
+  [[nodiscard]] BytesView app_payload() const {
+    if (udp) return BytesView(udp->payload);
+    if (tcp) return BytesView(tcp->payload);
+    return {};
+  }
+  [[nodiscard]] std::optional<Port> src_port() const {
+    if (udp) return udp->src_port;
+    if (tcp) return tcp->src_port;
+    return std::nullopt;
+  }
+  [[nodiscard]] std::optional<Port> dst_port() const {
+    if (udp) return udp->dst_port;
+    if (tcp) return tcp->dst_port;
+    return std::nullopt;
+  }
+};
+
+/// Parses a full Ethernet frame down to the transport layer. Layers that
+/// fail to parse simply stop the descent; the Ethernet layer itself must be
+/// valid or the whole decode fails.
+std::optional<Packet> decode_frame(BytesView raw);
+
+}  // namespace roomnet

@@ -1,0 +1,97 @@
+#include "netcore/pcap.hpp"
+
+#include <fstream>
+
+namespace roomnet {
+
+namespace {
+constexpr std::uint32_t kMagicUs = 0xa1b2c3d4;
+constexpr std::uint32_t kMagicUsSwapped = 0xd4c3b2a1;
+constexpr std::uint32_t kLinktypeEthernet = 1;
+}  // namespace
+
+Bytes encode_pcap(const std::vector<PcapRecord>& records, std::uint32_t snaplen) {
+  ByteWriter w;
+  w.u32_le(kMagicUs);
+  w.u16_le(2).u16_le(4);  // version 2.4
+  w.u32_le(0);            // thiszone
+  w.u32_le(0);            // sigfigs
+  w.u32_le(snaplen);
+  w.u32_le(kLinktypeEthernet);
+  for (const auto& rec : records) {
+    const std::int64_t us = rec.timestamp.us();
+    w.u32_le(static_cast<std::uint32_t>(us / 1000000));
+    w.u32_le(static_cast<std::uint32_t>(us % 1000000));
+    const std::uint32_t incl =
+        std::min<std::uint32_t>(static_cast<std::uint32_t>(rec.frame.size()), snaplen);
+    w.u32_le(incl);
+    w.u32_le(static_cast<std::uint32_t>(rec.frame.size()));
+    w.raw(BytesView(rec.frame).first(incl));
+  }
+  return w.take();
+}
+
+std::optional<std::vector<PcapRecord>> decode_pcap(BytesView data) {
+  ByteReader r(data);
+  const auto magic_le = r.u32_le();
+  if (!magic_le) return std::nullopt;
+  bool little_endian;
+  if (*magic_le == kMagicUs) {
+    little_endian = true;
+  } else if (*magic_le == kMagicUsSwapped) {
+    little_endian = false;
+  } else {
+    return std::nullopt;
+  }
+  const auto read_u32 = [&]() -> std::optional<std::uint32_t> {
+    return little_endian ? r.u32_le() : r.u32();
+  };
+  const auto read_u16 = [&]() -> std::optional<std::uint16_t> {
+    return little_endian ? r.u16_le() : r.u16();
+  };
+
+  const auto version_major = read_u16();
+  read_u16();  // minor
+  read_u32();  // thiszone
+  read_u32();  // sigfigs
+  read_u32();  // snaplen
+  const auto linktype = read_u32();
+  if (!r.ok() || *version_major != 2 || *linktype != kLinktypeEthernet)
+    return std::nullopt;
+
+  std::vector<PcapRecord> records;
+  while (!r.at_end()) {
+    const auto ts_sec = read_u32();
+    const auto ts_usec = read_u32();
+    const auto incl_len = read_u32();
+    read_u32();  // orig_len
+    if (!r.ok()) return std::nullopt;
+    auto frame = r.bytes(*incl_len);
+    if (!frame) return std::nullopt;
+    PcapRecord rec;
+    rec.timestamp = SimTime::from_us(static_cast<std::int64_t>(*ts_sec) * 1000000 +
+                                     *ts_usec);
+    rec.frame = std::move(*frame);
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+bool write_pcap_file(const std::string& path,
+                     const std::vector<PcapRecord>& records) {
+  const Bytes data = encode_pcap(records);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  return static_cast<bool>(out);
+}
+
+std::optional<std::vector<PcapRecord>> read_pcap_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  Bytes data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return decode_pcap(BytesView(data));
+}
+
+}  // namespace roomnet

@@ -1,0 +1,36 @@
+// Classic libpcap file format (.pcap), implemented from scratch: the
+// simulator's capture sink writes files any standard tool (tcpdump,
+// Wireshark) can open, and the analysis pipeline reads them back.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netcore/bytes.hpp"
+#include "netcore/time.hpp"
+
+namespace roomnet {
+
+/// One captured frame: link-layer bytes plus its capture timestamp.
+struct PcapRecord {
+  SimTime timestamp;
+  Bytes frame;
+};
+
+/// Serializes records into a pcap byte stream (magic 0xa1b2c3d4, v2.4,
+/// LINKTYPE_ETHERNET, microsecond timestamps, little-endian on disk).
+Bytes encode_pcap(const std::vector<PcapRecord>& records,
+                  std::uint32_t snaplen = 65535);
+
+/// Parses a pcap byte stream; accepts both byte orders. Returns nullopt on a
+/// bad magic or truncated record.
+std::optional<std::vector<PcapRecord>> decode_pcap(BytesView data);
+
+/// Convenience file I/O. write_pcap_file returns false on I/O failure.
+bool write_pcap_file(const std::string& path,
+                     const std::vector<PcapRecord>& records);
+std::optional<std::vector<PcapRecord>> read_pcap_file(const std::string& path);
+
+}  // namespace roomnet

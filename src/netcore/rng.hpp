@@ -1,0 +1,91 @@
+// Deterministic random source. One Rng per scenario, seeded explicitly;
+// child streams (`fork`) give independent deterministic streams so adding a
+// consumer does not perturb unrelated draws.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netcore/bytes.hpp"
+
+namespace roomnet {
+
+/// splitmix64-seeded xoshiro256**; small, fast, reproducible across builds
+/// (unlike std::mt19937 distributions, all derived draws here are exact
+/// integer arithmetic, so results are identical on every platform).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      // splitmix64 step
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // Debiased via rejection on the top slice.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+  bool chance(double probability) { return uniform() < probability; }
+
+  Bytes bytes(std::size_t n) {
+    Bytes out(n);
+    for (auto& b : out) b = static_cast<std::uint8_t>(next_u64());
+    return out;
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return items[below(items.size())];
+  }
+
+  /// Independent child stream labeled by `tag`; deterministic in (parent
+  /// seed, tag).
+  Rng fork(std::string_view tag) {
+    std::uint64_t h = 1469598103934665603ull;
+    for (char c : tag) h = (h ^ static_cast<std::uint8_t>(c)) * 1099511628211ull;
+    return Rng(next_u64() ^ h);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace roomnet

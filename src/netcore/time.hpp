@@ -1,0 +1,42 @@
+// Virtual simulation time. roomnet never reads the wall clock: all
+// timestamps originate from the discrete-event scheduler, making every
+// experiment bit-for-bit reproducible.
+#pragma once
+
+#include <chrono>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace roomnet {
+
+/// Time since scenario start, microsecond resolution.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  static constexpr SimTime from_us(std::int64_t us) { return SimTime(us); }
+  static constexpr SimTime from_ms(std::int64_t ms) { return SimTime(ms * 1000); }
+  static constexpr SimTime from_seconds(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1e6));
+  }
+  static constexpr SimTime from_minutes(double m) { return from_seconds(m * 60); }
+  static constexpr SimTime from_hours(double h) { return from_seconds(h * 3600); }
+  static constexpr SimTime from_days(double d) { return from_hours(d * 24); }
+
+  [[nodiscard]] constexpr std::int64_t us() const { return us_; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(us_) / 1e6; }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+  friend constexpr SimTime operator+(SimTime a, SimTime b) { return SimTime(a.us_ + b.us_); }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) { return SimTime(a.us_ - b.us_); }
+  constexpr SimTime& operator+=(SimTime d) {
+    us_ += d.us_;
+    return *this;
+  }
+
+ private:
+  explicit constexpr SimTime(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+}  // namespace roomnet

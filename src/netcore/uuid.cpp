@@ -1,0 +1,70 @@
+#include "netcore/uuid.hpp"
+
+#include <cstdio>
+
+namespace roomnet {
+
+Uuid Uuid::random(Rng& rng) {
+  std::array<std::uint8_t, 16> b{};
+  for (auto& x : b) x = static_cast<std::uint8_t>(rng.next_u64());
+  b[6] = static_cast<std::uint8_t>(0x40 | (b[6] & 0x0f));  // version 4
+  b[8] = static_cast<std::uint8_t>(0x80 | (b[8] & 0x3f));  // variant
+  return Uuid(b);
+}
+
+Uuid Uuid::from_mac(Rng& rng, const MacAddress& mac) {
+  std::array<std::uint8_t, 16> b{};
+  for (int i = 0; i < 10; ++i)
+    b[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(rng.next_u64());
+  b[6] = static_cast<std::uint8_t>(0x10 | (b[6] & 0x0f));  // version 1
+  b[8] = static_cast<std::uint8_t>(0x80 | (b[8] & 0x3f));
+  const auto& o = mac.octets();
+  for (int i = 0; i < 6; ++i) b[static_cast<std::size_t>(10 + i)] = o[static_cast<std::size_t>(i)];
+  return Uuid(b);
+}
+
+std::optional<Uuid> Uuid::parse(std::string_view text) {
+  if (text.size() != 36) return std::nullopt;
+  std::array<std::uint8_t, 16> b{};
+  std::size_t bi = 0;
+  int hi = -1;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (i == 8 || i == 13 || i == 18 || i == 23) {
+      if (c != '-') return std::nullopt;
+      continue;
+    }
+    int v;
+    if (c >= '0' && c <= '9') v = c - '0';
+    else if (c >= 'a' && c <= 'f') v = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') v = c - 'A' + 10;
+    else return std::nullopt;
+    if (hi < 0) {
+      hi = v;
+    } else {
+      b[bi++] = static_cast<std::uint8_t>((hi << 4) | v);
+      hi = -1;
+    }
+  }
+  if (bi != 16) return std::nullopt;
+  return Uuid(b);
+}
+
+std::string Uuid::to_string() const {
+  char buf[37];
+  std::snprintf(buf, sizeof buf,
+                "%02x%02x%02x%02x-%02x%02x-%02x%02x-%02x%02x-"
+                "%02x%02x%02x%02x%02x%02x",
+                bytes_[0], bytes_[1], bytes_[2], bytes_[3], bytes_[4], bytes_[5],
+                bytes_[6], bytes_[7], bytes_[8], bytes_[9], bytes_[10],
+                bytes_[11], bytes_[12], bytes_[13], bytes_[14], bytes_[15]);
+  return buf;
+}
+
+MacAddress Uuid::node_mac() const {
+  std::array<std::uint8_t, 6> o{};
+  for (int i = 0; i < 6; ++i) o[static_cast<std::size_t>(i)] = bytes_[static_cast<std::size_t>(10 + i)];
+  return MacAddress(o);
+}
+
+}  // namespace roomnet

@@ -1,0 +1,43 @@
+// RFC 4122 UUID value type. The paper's entropy analysis (§6.3) searches
+// payloads for the standard UUID text pattern; devices in the simulator
+// advertise UUIDs in SSDP/mDNS exactly as their real counterparts do.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "netcore/address.hpp"
+#include "netcore/rng.hpp"
+
+namespace roomnet {
+
+class Uuid {
+ public:
+  constexpr Uuid() = default;
+  explicit constexpr Uuid(std::array<std::uint8_t, 16> bytes) : bytes_(bytes) {}
+
+  /// Random (version 4) UUID from the given deterministic stream.
+  static Uuid random(Rng& rng);
+  /// UUID whose node field embeds a MAC address (version-1 style) — the
+  /// pattern the paper observes for Roku: "the MAC addresses ... are a part
+  /// of the UUIDs" (Table 2 discussion).
+  static Uuid from_mac(Rng& rng, const MacAddress& mac);
+  /// Parses the canonical 8-4-4-4-12 hex form.
+  static std::optional<Uuid> parse(std::string_view text);
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] const std::array<std::uint8_t, 16>& bytes() const { return bytes_; }
+  /// Last six bytes interpreted as a MAC (meaningful for from_mac UUIDs).
+  [[nodiscard]] MacAddress node_mac() const;
+
+  friend constexpr auto operator<=>(const Uuid&, const Uuid&) = default;
+
+ private:
+  std::array<std::uint8_t, 16> bytes_{};
+};
+
+}  // namespace roomnet

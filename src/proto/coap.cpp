@@ -1,0 +1,126 @@
+#include "proto/coap.hpp"
+
+#include <algorithm>
+
+namespace roomnet {
+
+namespace {
+constexpr std::uint16_t kUriPathOption = 11;
+
+/// CoAP option delta/length nibble extension encoding.
+void write_ext(ByteWriter& w, std::uint32_t v) {
+  if (v >= 269) {
+    w.u16(static_cast<std::uint16_t>(v - 269));
+  } else if (v >= 13) {
+    w.u8(static_cast<std::uint8_t>(v - 13));
+  }
+}
+std::uint8_t nibble_of(std::uint32_t v) {
+  if (v >= 269) return 14;
+  if (v >= 13) return 13;
+  return static_cast<std::uint8_t>(v);
+}
+std::optional<std::uint32_t> read_ext(ByteReader& r, std::uint8_t nibble) {
+  if (nibble == 15) return std::nullopt;  // reserved
+  if (nibble == 14) {
+    const auto v = r.u16();
+    if (!v) return std::nullopt;
+    return *v + 269u;
+  }
+  if (nibble == 13) {
+    const auto v = r.u8();
+    if (!v) return std::nullopt;
+    return *v + 13u;
+  }
+  return nibble;
+}
+}  // namespace
+
+std::string CoapMessage::uri_path() const {
+  std::string out;
+  for (const auto& o : options) {
+    if (o.number != kUriPathOption) continue;
+    if (!out.empty()) out += '/';
+    out += string_of(BytesView(o.value));
+  }
+  return out;
+}
+
+void CoapMessage::set_uri_path(std::string_view path) {
+  std::size_t i = 0;
+  while (i <= path.size()) {
+    const auto slash = path.find('/', i);
+    const std::string_view seg =
+        slash == std::string_view::npos ? path.substr(i) : path.substr(i, slash - i);
+    if (!seg.empty()) options.push_back({kUriPathOption, bytes_of(seg)});
+    if (slash == std::string_view::npos) break;
+    i = slash + 1;
+  }
+  std::stable_sort(options.begin(), options.end(),
+                   [](const CoapOption& a, const CoapOption& b) {
+                     return a.number < b.number;
+                   });
+}
+
+Bytes encode_coap(const CoapMessage& msg) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(
+      0x40 |  // version 1
+      (static_cast<std::uint8_t>(msg.type) << 4) |
+      static_cast<std::uint8_t>(msg.token.size() & 0x0f)));
+  w.u8(msg.code);
+  w.u16(msg.message_id);
+  w.raw(msg.token);
+  std::uint16_t last = 0;
+  for (const auto& o : msg.options) {
+    const std::uint32_t delta = o.number - last;
+    const std::uint32_t len = static_cast<std::uint32_t>(o.value.size());
+    w.u8(static_cast<std::uint8_t>((nibble_of(delta) << 4) | nibble_of(len)));
+    write_ext(w, delta);
+    write_ext(w, len);
+    w.raw(o.value);
+    last = o.number;
+  }
+  if (!msg.payload.empty()) {
+    w.u8(0xff);
+    w.raw(msg.payload);
+  }
+  return w.take();
+}
+
+std::optional<CoapMessage> decode_coap(BytesView raw) {
+  ByteReader r(raw);
+  const auto first = r.u8();
+  if (!first || (*first >> 6) != 1) return std::nullopt;  // version must be 1
+  CoapMessage m;
+  m.type = static_cast<CoapType>((*first >> 4) & 0x3);
+  const std::size_t token_len = *first & 0x0f;
+  if (token_len > 8) return std::nullopt;
+  m.code = r.u8().value_or(0);
+  m.message_id = r.u16().value_or(0);
+  auto token = r.bytes(token_len);
+  if (!token) return std::nullopt;
+  m.token = std::move(*token);
+
+  std::uint16_t number = 0;
+  while (r.remaining() > 0) {
+    const auto b = r.u8();
+    if (!b) return std::nullopt;
+    if (*b == 0xff) {
+      const auto rest = r.rest();
+      if (rest.empty()) return std::nullopt;  // marker with no payload
+      m.payload.assign(rest.begin(), rest.end());
+      break;
+    }
+    const auto delta = read_ext(r, static_cast<std::uint8_t>(*b >> 4));
+    const auto len = read_ext(r, static_cast<std::uint8_t>(*b & 0x0f));
+    if (!delta || !len) return std::nullopt;
+    number = static_cast<std::uint16_t>(number + *delta);
+    auto value = r.bytes(*len);
+    if (!value) return std::nullopt;
+    m.options.push_back({number, std::move(*value)});
+  }
+  return m;
+}
+
+}  // namespace roomnet

@@ -1,0 +1,48 @@
+// CoAP (RFC 7252) — used by the Samsung fridge (IoTivity resource discovery)
+// and HomePod Minis in the paper's testbed (§5.1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netcore/bytes.hpp"
+
+namespace roomnet {
+
+inline constexpr std::uint16_t kCoapPort = 5683;
+
+enum class CoapType : std::uint8_t {
+  kConfirmable = 0,
+  kNonConfirmable = 1,
+  kAck = 2,
+  kReset = 3,
+};
+
+struct CoapOption {
+  std::uint16_t number = 0;  // 11 = Uri-Path, 15 = Uri-Query
+  Bytes value;
+};
+
+struct CoapMessage {
+  CoapType type = CoapType::kNonConfirmable;
+  /// Code: class.detail, e.g. 0.01 GET -> 0x01, 2.05 Content -> 0x45.
+  std::uint8_t code = 0x01;
+  std::uint16_t message_id = 0;
+  Bytes token;
+  std::vector<CoapOption> options;  // must be sorted by number for encoding
+  Bytes payload;
+
+  /// Joins Uri-Path options: "oic/res" for IoTivity discovery.
+  [[nodiscard]] std::string uri_path() const;
+  void set_uri_path(std::string_view path);  // splits on '/'
+};
+
+inline constexpr std::uint8_t kCoapGet = 0x01;
+inline constexpr std::uint8_t kCoapContent = 0x45;  // 2.05
+
+Bytes encode_coap(const CoapMessage& msg);
+std::optional<CoapMessage> decode_coap(BytesView raw);
+
+}  // namespace roomnet

@@ -1,0 +1,99 @@
+// DHCP (RFC 2131) message codec. The paper's §5.1 DHCP findings hinge on
+// option contents: hostnames (option 12), vendor class / client version
+// (option 60), and parameter request lists (option 55) asking for 30
+// different data types including deprecated ones (SMTP server, name server,
+// root path).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netcore/address.hpp"
+#include "netcore/bytes.hpp"
+
+namespace roomnet {
+
+enum class DhcpMessageType : std::uint8_t {
+  kDiscover = 1,
+  kOffer = 2,
+  kRequest = 3,
+  kDecline = 4,
+  kAck = 5,
+  kNak = 6,
+  kRelease = 7,
+  kInform = 8,
+};
+
+/// DHCP option codes referenced across roomnet. Values are the IANA codes.
+enum class DhcpOption : std::uint8_t {
+  kSubnetMask = 1,
+  kTimeOffset = 2,
+  kRouter = 3,
+  kTimeServer = 4,
+  kNameServer = 5,      // deprecated IEN-116 name server (paper calls this out)
+  kDnsServer = 6,
+  kLogServer = 7,
+  kHostName = 12,
+  kDomainName = 15,
+  kRootPath = 17,       // deprecated; requested by some devices
+  kBroadcastAddress = 28,
+  kNtpServer = 42,
+  kVendorSpecific = 43,
+  kNetbiosNameServer = 44,
+  kRequestedIp = 50,
+  kLeaseTime = 51,
+  kMessageType = 53,
+  kServerId = 54,
+  kParameterRequestList = 55,
+  kMaxMessageSize = 57,
+  kRenewalTime = 58,
+  kRebindingTime = 59,
+  kVendorClassId = 60,  // exposes DHCP client name+version
+  kClientId = 61,
+  kSmtpServer = 69,     // deprecated; the paper's example of unexpected asks
+  kDomainSearch = 119,
+  kClasslessRoute = 121,
+  kEnd = 255,
+};
+
+struct DhcpOptionField {
+  std::uint8_t code = 0;
+  Bytes value;
+};
+
+struct DhcpMessage {
+  bool is_request = true;  // op: 1 BOOTREQUEST, 2 BOOTREPLY
+  std::uint32_t xid = 0;
+  Ipv4Address ciaddr;  // client's current IP
+  Ipv4Address yiaddr;  // "your" IP (in offers/acks)
+  Ipv4Address siaddr;
+  Ipv4Address giaddr;
+  MacAddress client_mac;
+  std::vector<DhcpOptionField> options;
+
+  // -- option accessors ----------------------------------------------------
+  [[nodiscard]] std::optional<DhcpMessageType> message_type() const;
+  [[nodiscard]] std::optional<std::string> hostname() const;
+  [[nodiscard]] std::optional<std::string> vendor_class() const;
+  [[nodiscard]] std::vector<std::uint8_t> parameter_request_list() const;
+  [[nodiscard]] const DhcpOptionField* find_option(DhcpOption code) const;
+
+  // -- option builders -----------------------------------------------------
+  void set_message_type(DhcpMessageType type);
+  void set_hostname(std::string_view name);
+  void set_vendor_class(std::string_view vc);
+  void set_parameter_request_list(const std::vector<std::uint8_t>& codes);
+  void add_option(DhcpOption code, Bytes value);
+  void add_ip_option(DhcpOption code, Ipv4Address ip);
+};
+
+/// Standard ports: client 68, server 67.
+inline constexpr std::uint16_t kDhcpServerPort = 67;
+inline constexpr std::uint16_t kDhcpClientPort = 68;
+
+Bytes encode_dhcp(const DhcpMessage& msg);
+std::optional<DhcpMessage> decode_dhcp(BytesView raw);
+
+}  // namespace roomnet

@@ -1,0 +1,103 @@
+#include "proto/dhcpv6.hpp"
+
+namespace roomnet {
+
+namespace {
+constexpr std::uint16_t kOptionClientId = 1;
+constexpr std::uint16_t kOptionFqdn = 39;
+constexpr std::uint16_t kDuidLl = 3;
+constexpr std::uint16_t kHwEthernet = 1;
+}  // namespace
+
+Ipv6Address dhcpv6_multicast_group() {
+  std::array<std::uint8_t, 16> b{};
+  b[0] = 0xff;
+  b[1] = 0x02;
+  b[13] = 0x01;
+  b[15] = 0x02;
+  return Ipv6Address(b);
+}
+
+void Dhcpv6Message::set_client_duid_ll(const MacAddress& mac) {
+  ByteWriter w;
+  w.u16(kDuidLl);
+  w.u16(kHwEthernet);
+  w.raw(BytesView(mac.octets()));
+  options.push_back({kOptionClientId, w.take()});
+}
+
+std::optional<MacAddress> Dhcpv6Message::client_mac() const {
+  for (const auto& option : options) {
+    if (option.code != kOptionClientId) continue;
+    ByteReader r{BytesView(option.value)};
+    const auto duid_type = r.u16();
+    if (!duid_type || (*duid_type != kDuidLl && *duid_type != 1))
+      return std::nullopt;
+    if (*duid_type == 1) r.skip(4);  // DUID-LLT: skip the timestamp
+    const auto hw = r.u16();
+    if (!hw || *hw != kHwEthernet) return std::nullopt;
+    auto mac_bytes = r.view(6);
+    if (!mac_bytes) return std::nullopt;
+    std::array<std::uint8_t, 6> octets{};
+    std::copy(mac_bytes->begin(), mac_bytes->end(), octets.begin());
+    return MacAddress(octets);
+  }
+  return std::nullopt;
+}
+
+void Dhcpv6Message::set_fqdn(std::string_view hostname) {
+  ByteWriter w;
+  w.u8(0);  // flags
+  w.u8(static_cast<std::uint8_t>(std::min<std::size_t>(hostname.size(), 63)));
+  w.str(hostname.substr(0, 63));
+  options.push_back({kOptionFqdn, w.take()});
+}
+
+std::optional<std::string> Dhcpv6Message::fqdn() const {
+  for (const auto& option : options) {
+    if (option.code != kOptionFqdn) continue;
+    ByteReader r{BytesView(option.value)};
+    r.skip(1);
+    const auto len = r.u8();
+    if (!len) return std::nullopt;
+    return r.str(*len);
+  }
+  return std::nullopt;
+}
+
+Bytes encode_dhcpv6(const Dhcpv6Message& msg) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(msg.type));
+  w.u8(static_cast<std::uint8_t>(msg.transaction_id >> 16));
+  w.u8(static_cast<std::uint8_t>(msg.transaction_id >> 8));
+  w.u8(static_cast<std::uint8_t>(msg.transaction_id));
+  for (const auto& option : msg.options) {
+    w.u16(option.code);
+    w.u16(static_cast<std::uint16_t>(option.value.size()));
+    w.raw(option.value);
+  }
+  return w.take();
+}
+
+std::optional<Dhcpv6Message> decode_dhcpv6(BytesView raw) {
+  ByteReader r(raw);
+  const auto type = r.u8();
+  if (!type || *type == 0 || *type > 36) return std::nullopt;
+  Dhcpv6Message m;
+  m.type = static_cast<Dhcpv6Type>(*type);
+  const auto t1 = r.u8(), t2 = r.u8(), t3 = r.u8();
+  if (!r.ok()) return std::nullopt;
+  m.transaction_id = (static_cast<std::uint32_t>(*t1) << 16) |
+                     (static_cast<std::uint32_t>(*t2) << 8) | *t3;
+  while (r.remaining() > 0) {
+    const auto code = r.u16();
+    const auto len = r.u16();
+    if (!code || !len) return std::nullopt;
+    auto value = r.bytes(*len);
+    if (!value) return std::nullopt;
+    m.options.push_back({*code, std::move(*value)});
+  }
+  return m;
+}
+
+}  // namespace roomnet

@@ -1,0 +1,51 @@
+// DHCPv6 (RFC 8415), the multicast discovery protocol Figure 2 lists. The
+// privacy-relevant detail: the client identifier option carries a DUID-LL /
+// DUID-LLT — the device MAC — to the All_DHCP_Relay_Agents_and_Servers
+// multicast group, i.e. to anyone listening.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netcore/address.hpp"
+#include "netcore/bytes.hpp"
+
+namespace roomnet {
+
+inline constexpr std::uint16_t kDhcpv6ClientPort = 546;
+inline constexpr std::uint16_t kDhcpv6ServerPort = 547;
+/// ff02::1:2 — All_DHCP_Relay_Agents_and_Servers.
+Ipv6Address dhcpv6_multicast_group();
+
+enum class Dhcpv6Type : std::uint8_t {
+  kSolicit = 1,
+  kAdvertise = 2,
+  kRequest = 3,
+  kReply = 7,
+  kInformationRequest = 11,
+};
+
+struct Dhcpv6Option {
+  std::uint16_t code = 0;  // 1 clientid, 2 serverid, 3 IA_NA, 39 FQDN
+  Bytes value;
+};
+
+struct Dhcpv6Message {
+  Dhcpv6Type type = Dhcpv6Type::kSolicit;
+  std::uint32_t transaction_id = 0;  // 24-bit
+  std::vector<Dhcpv6Option> options;
+
+  /// DUID-LL client id embedding this MAC (the exposure).
+  void set_client_duid_ll(const MacAddress& mac);
+  /// Extracts the MAC from a DUID-LL/LLT client id, if present.
+  [[nodiscard]] std::optional<MacAddress> client_mac() const;
+  void set_fqdn(std::string_view hostname);
+  [[nodiscard]] std::optional<std::string> fqdn() const;
+};
+
+Bytes encode_dhcpv6(const Dhcpv6Message& msg);
+std::optional<Dhcpv6Message> decode_dhcpv6(BytesView raw);
+
+}  // namespace roomnet

@@ -1,0 +1,101 @@
+// DNS / Multicast DNS (RFC 1035 / RFC 6762) message codec with name
+// compression. mDNS is the paper's central discovery protocol: 44% of lab
+// devices use it, and its hostnames embed MAC addresses, device IDs, serial
+// numbers, and user display names (§5.1) — the raw material of the household
+// fingerprinting analysis (§6.3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netcore/address.hpp"
+#include "netcore/bytes.hpp"
+
+namespace roomnet {
+
+/// A domain name as ordered labels, e.g. {"Philips Hue - 685F61", "_hue",
+/// "_tcp", "local"}. Labels may contain arbitrary bytes (mDNS instance names
+/// contain spaces and punctuation).
+struct DnsName {
+  std::vector<std::string> labels;
+
+  [[nodiscard]] std::string to_string() const;  // dot-joined
+  static DnsName from_string(std::string_view dotted);
+
+  friend bool operator==(const DnsName&, const DnsName&) = default;
+};
+
+enum class DnsType : std::uint16_t {
+  kA = 1,
+  kPtr = 12,
+  kTxt = 16,
+  kAaaa = 28,
+  kSrv = 33,
+  kNsec = 47,
+  kAny = 255,
+};
+
+struct DnsQuestion {
+  DnsName name;
+  DnsType type = DnsType::kAny;
+  /// mDNS QU bit: unicast response requested.
+  bool unicast_response = false;
+};
+
+struct SrvData {
+  std::uint16_t priority = 0;
+  std::uint16_t weight = 0;
+  std::uint16_t port = 0;
+  DnsName target;
+};
+
+struct DnsRecord {
+  DnsName name;
+  DnsType type = DnsType::kA;
+  /// mDNS cache-flush bit.
+  bool cache_flush = false;
+  std::uint32_t ttl = 120;
+  /// Raw rdata as stored on the wire (PTR/SRV targets re-encoded without
+  /// compression for simplicity).
+  Bytes rdata;
+
+  // Typed accessors (nullopt if the rdata does not parse as that type).
+  [[nodiscard]] std::optional<Ipv4Address> a() const;
+  [[nodiscard]] std::optional<Ipv6Address> aaaa() const;
+  [[nodiscard]] std::optional<DnsName> ptr() const;
+  [[nodiscard]] std::optional<SrvData> srv() const;
+  [[nodiscard]] std::vector<std::string> txt() const;
+
+  // Typed builders.
+  static DnsRecord make_a(DnsName name, Ipv4Address ip, std::uint32_t ttl = 120);
+  static DnsRecord make_aaaa(DnsName name, const Ipv6Address& ip,
+                             std::uint32_t ttl = 120);
+  static DnsRecord make_ptr(DnsName name, const DnsName& target,
+                            std::uint32_t ttl = 4500);
+  static DnsRecord make_srv(DnsName name, const SrvData& srv,
+                            std::uint32_t ttl = 120);
+  static DnsRecord make_txt(DnsName name, const std::vector<std::string>& kv,
+                            std::uint32_t ttl = 4500);
+};
+
+struct DnsMessage {
+  std::uint16_t id = 0;  // always 0 in mDNS
+  bool is_response = false;
+  bool authoritative = false;
+  std::vector<DnsQuestion> questions;
+  std::vector<DnsRecord> answers;
+  std::vector<DnsRecord> authority;
+  std::vector<DnsRecord> additional;
+};
+
+inline constexpr std::uint16_t kMdnsPort = 5353;
+inline constexpr Ipv4Address kMdnsGroupV4 = Ipv4Address(224, 0, 0, 251);
+
+/// Encodes with name compression (full-name suffix sharing).
+Bytes encode_dns(const DnsMessage& msg);
+/// Decodes, following compression pointers with loop protection.
+std::optional<DnsMessage> decode_dns(BytesView raw);
+
+}  // namespace roomnet

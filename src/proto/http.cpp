@@ -1,0 +1,162 @@
+#include "proto/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace roomnet {
+
+namespace {
+bool iequals(std::string_view a, std::string_view b) {
+  return a.size() == b.size() &&
+         std::equal(a.begin(), a.end(), b.begin(), [](char x, char y) {
+           return std::tolower(static_cast<unsigned char>(x)) ==
+                  std::tolower(static_cast<unsigned char>(y));
+         });
+}
+
+struct HeadParse {
+  std::string start_line;
+  HttpHeaders headers;
+  std::size_t body_offset = 0;
+};
+
+std::optional<HeadParse> parse_head(std::string_view text) {
+  HeadParse out;
+  const auto line_end = text.find("\r\n");
+  if (line_end == std::string_view::npos) return std::nullopt;
+  out.start_line = std::string(text.substr(0, line_end));
+  std::size_t pos = line_end + 2;
+  for (;;) {
+    const auto eol = text.find("\r\n", pos);
+    if (eol == std::string_view::npos) return std::nullopt;
+    if (eol == pos) {
+      out.body_offset = pos + 2;
+      return out;
+    }
+    const std::string_view line = text.substr(pos, eol - pos);
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos) return std::nullopt;
+    std::string_view name = line.substr(0, colon);
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+    out.headers.add(std::string(name), std::string(value));
+    pos = eol + 2;
+  }
+}
+
+std::vector<std::string> split_ws(std::string_view s, int max_parts) {
+  std::vector<std::string> parts;
+  std::size_t i = 0;
+  while (i < s.size() && static_cast<int>(parts.size()) < max_parts) {
+    while (i < s.size() && s[i] == ' ') ++i;
+    if (i >= s.size()) break;
+    if (static_cast<int>(parts.size()) == max_parts - 1) {
+      parts.emplace_back(s.substr(i));
+      break;
+    }
+    const auto sp = s.find(' ', i);
+    if (sp == std::string_view::npos) {
+      parts.emplace_back(s.substr(i));
+      break;
+    }
+    parts.emplace_back(s.substr(i, sp - i));
+    i = sp + 1;
+  }
+  return parts;
+}
+
+void write_head(ByteWriter& w, std::string_view start_line,
+                const HttpHeaders& headers, std::size_t body_size) {
+  w.str(start_line);
+  w.str("\r\n");
+  bool has_length = headers.has("Content-Length");
+  for (const auto& [name, value] : headers.entries()) {
+    w.str(name);
+    w.str(": ");
+    w.str(value);
+    w.str("\r\n");
+  }
+  if (!has_length && body_size > 0) {
+    w.str("Content-Length: ");
+    w.str(std::to_string(body_size));
+    w.str("\r\n");
+  }
+  w.str("\r\n");
+}
+}  // namespace
+
+std::optional<std::string> HttpHeaders::get(std::string_view name) const {
+  for (const auto& [n, v] : entries_)
+    if (iequals(n, name)) return v;
+  return std::nullopt;
+}
+
+Bytes encode_http_request(const HttpRequest& req) {
+  ByteWriter w;
+  write_head(w, req.method + " " + req.target + " " + req.version, req.headers,
+             req.body.size());
+  w.raw(req.body);
+  return w.take();
+}
+
+Bytes encode_http_response(const HttpResponse& res) {
+  ByteWriter w;
+  write_head(w,
+             res.version + " " + std::to_string(res.status) + " " + res.reason,
+             res.headers, res.body.size());
+  w.raw(res.body);
+  return w.take();
+}
+
+std::optional<HttpRequest> decode_http_request(BytesView raw) {
+  const std::string_view text(reinterpret_cast<const char*>(raw.data()),
+                              raw.size());
+  auto head = parse_head(text);
+  if (!head) return std::nullopt;
+  auto parts = split_ws(head->start_line, 3);
+  if (parts.size() != 3 || !parts[2].starts_with("HTTP/")) return std::nullopt;
+  HttpRequest req;
+  req.method = parts[0];
+  req.target = parts[1];
+  req.version = parts[2];
+  req.headers = std::move(head->headers);
+  req.body.assign(raw.begin() + static_cast<std::ptrdiff_t>(head->body_offset),
+                  raw.end());
+  return req;
+}
+
+std::optional<HttpResponse> decode_http_response(BytesView raw) {
+  const std::string_view text(reinterpret_cast<const char*>(raw.data()),
+                              raw.size());
+  auto head = parse_head(text);
+  if (!head) return std::nullopt;
+  auto parts = split_ws(head->start_line, 3);
+  if (parts.size() < 2 || !parts[0].starts_with("HTTP/")) return std::nullopt;
+  HttpResponse res;
+  res.version = parts[0];
+  int status = 0;
+  const auto [p, ec] =
+      std::from_chars(parts[1].data(), parts[1].data() + parts[1].size(), status);
+  if (ec != std::errc{} || p != parts[1].data() + parts[1].size())
+    return std::nullopt;
+  res.status = status;
+  res.reason = parts.size() > 2 ? parts[2] : "";
+  res.headers = std::move(head->headers);
+  res.body.assign(raw.begin() + static_cast<std::ptrdiff_t>(head->body_offset),
+                  raw.end());
+  return res;
+}
+
+bool looks_like_http(BytesView payload) {
+  const std::string_view text(reinterpret_cast<const char*>(payload.data()),
+                              std::min<std::size_t>(payload.size(), 16));
+  static constexpr std::string_view kMethods[] = {
+      "GET ",    "POST ",   "PUT ",     "DELETE ", "HEAD ",
+      "OPTIONS ", "HTTP/1.", "NOTIFY ", "M-SEARCH ", "SUBSCRIBE "};
+  for (const auto m : kMethods)
+    if (text.starts_with(m)) return true;
+  return false;
+}
+
+}  // namespace roomnet

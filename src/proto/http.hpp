@@ -1,0 +1,65 @@
+// HTTP/1.1 message codec (requests and responses, header multimap,
+// Content-Length bodies). Plaintext HTTP is a §5.2 threat surface: 33 lab
+// devices speak it, some exposing User-Agent strings with OS/firmware
+// versions, backup files, and unauthenticated camera snapshots.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "netcore/bytes.hpp"
+
+namespace roomnet {
+
+/// Ordered case-insensitive header list (order matters for fingerprinting).
+class HttpHeaders {
+ public:
+  void add(std::string name, std::string value) {
+    entries_.emplace_back(std::move(name), std::move(value));
+  }
+  /// First matching header value (case-insensitive name match).
+  [[nodiscard]] std::optional<std::string> get(std::string_view name) const;
+  [[nodiscard]] bool has(std::string_view name) const { return get(name).has_value(); }
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>& entries()
+      const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string target = "/";
+  std::string version = "HTTP/1.1";
+  HttpHeaders headers;
+  Bytes body;
+};
+
+struct HttpResponse {
+  std::string version = "HTTP/1.1";
+  int status = 200;
+  std::string reason = "OK";
+  HttpHeaders headers;
+  Bytes body;
+};
+
+/// Serializers add Content-Length automatically when a body is present and
+/// the header is absent.
+Bytes encode_http_request(const HttpRequest& req);
+Bytes encode_http_response(const HttpResponse& res);
+
+/// Parsers accept a complete message (the simulator delivers whole payloads).
+std::optional<HttpRequest> decode_http_request(BytesView raw);
+std::optional<HttpResponse> decode_http_response(BytesView raw);
+
+/// True if the payload plausibly starts an HTTP/1.x message (used by the
+/// classifiers).
+bool looks_like_http(BytesView payload);
+
+}  // namespace roomnet

@@ -1,0 +1,72 @@
+// Minimal JSON value model, parser, and serializer. TPLINK-SHP and TuyaLP
+// payloads are JSON on the wire (Table 5); the exfiltration detector also
+// inspects JSON bodies of cloud uploads. This is a small, strict subset
+// (UTF-8 passthrough, no \u escapes beyond latin-1, doubles for numbers).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace roomnet::json {
+
+class Value;
+using Array = std::vector<Value>;
+/// std::map keeps serialization deterministic (sorted keys).
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  Value() : v_(nullptr) {}
+  Value(std::nullptr_t) : v_(nullptr) {}
+  Value(bool b) : v_(b) {}
+  Value(double d) : v_(d) {}
+  Value(int i) : v_(static_cast<double>(i)) {}
+  Value(std::int64_t i) : v_(static_cast<double>(i)) {}
+  Value(const char* s) : v_(std::string(s)) {}
+  Value(std::string s) : v_(std::move(s)) {}
+  Value(Array a) : v_(std::move(a)) {}
+  Value(Object o) : v_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(v_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(v_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(v_); }
+  [[nodiscard]] double as_number() const { return std::get<double>(v_); }
+  [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(v_); }
+  [[nodiscard]] const Array& as_array() const { return std::get<Array>(v_); }
+  [[nodiscard]] const Object& as_object() const { return std::get<Object>(v_); }
+  [[nodiscard]] Object& as_object() { return std::get<Object>(v_); }
+
+  /// Object member access; returns nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const {
+    if (!is_object()) return nullptr;
+    const auto& obj = as_object();
+    const auto it = obj.find(std::string(key));
+    return it == obj.end() ? nullptr : &it->second;
+  }
+  /// Dotted-path lookup, e.g. "system.get_sysinfo.deviceId".
+  [[nodiscard]] const Value* find_path(std::string_view dotted) const;
+
+  [[nodiscard]] std::string dump() const;
+
+  friend bool operator==(const Value&, const Value&);
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+/// Strict parse of a complete JSON document; nullopt on any syntax error or
+/// trailing garbage.
+std::optional<Value> parse(std::string_view text);
+
+}  // namespace roomnet::json

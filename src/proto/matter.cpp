@@ -1,0 +1,120 @@
+#include "proto/matter.hpp"
+
+namespace roomnet {
+
+namespace {
+// Message flags byte: version (high nibble, 0), S flag 0x04, DSIZ 0x03.
+constexpr std::uint8_t kSourcePresent = 0x04;
+constexpr std::uint8_t kDestNodePresent = 0x01;
+}  // namespace
+
+Bytes encode_matter(const MatterMessage& msg) {
+  ByteWriter w;
+  std::uint8_t flags = 0;
+  if (msg.source_node) flags |= kSourcePresent;
+  if (msg.destination_node) flags |= kDestNodePresent;
+  w.u8(flags);
+  w.u16_le(msg.session_id);
+  w.u8(0);  // security flags: unicast session
+  w.u32_le(msg.message_counter);
+  if (msg.source_node) {
+    for (int i = 0; i < 8; ++i)
+      w.u8(static_cast<std::uint8_t>(*msg.source_node >> (8 * i)));
+  }
+  if (msg.destination_node) {
+    for (int i = 0; i < 8; ++i)
+      w.u8(static_cast<std::uint8_t>(*msg.destination_node >> (8 * i)));
+  }
+  w.raw(msg.payload);
+  return w.take();
+}
+
+std::optional<MatterMessage> decode_matter(BytesView raw) {
+  ByteReader r(raw);
+  const auto flags = r.u8();
+  if (!flags || (*flags >> 4) != 0) return std::nullopt;  // version 0 only
+  MatterMessage m;
+  m.session_id = r.u16_le().value_or(0);
+  const auto security = r.u8();
+  m.message_counter = r.u32_le().value_or(0);
+  if (!r.ok() || !security) return std::nullopt;
+  const auto read_node = [&]() -> std::optional<std::uint64_t> {
+    std::uint64_t node = 0;
+    for (int i = 0; i < 8; ++i) {
+      const auto b = r.u8();
+      if (!b) return std::nullopt;
+      node |= static_cast<std::uint64_t>(*b) << (8 * i);
+    }
+    return node;
+  };
+  if (*flags & kSourcePresent) {
+    m.source_node = read_node();
+    if (!m.source_node) return std::nullopt;
+  }
+  if (*flags & kDestNodePresent) {
+    m.destination_node = read_node();
+    if (!m.destination_node) return std::nullopt;
+  }
+  const auto rest = r.rest();
+  m.payload.assign(rest.begin(), rest.end());
+  return m;
+}
+
+bool looks_like_matter(BytesView payload) {
+  return payload.size() >= 8 && (payload[0] >> 4) == 0 &&
+         (payload[0] & 0xf8 & ~kSourcePresent) == 0;
+}
+
+DnsMessage matter_commissionable_advertisement(
+    const MatterCommissionable& node, const std::string& hostname,
+    Ipv4Address ip) {
+  DnsMessage msg;
+  msg.is_response = true;
+  msg.authoritative = true;
+  const DnsName service = DnsName::from_string("_matterc._udp.local");
+  DnsName instance = service;
+  instance.labels.insert(instance.labels.begin(), node.instance);
+
+  msg.answers.push_back(DnsRecord::make_ptr(service, instance));
+  SrvData srv;
+  srv.port = kMatterPort;
+  srv.target = DnsName::from_string(hostname);
+  msg.answers.push_back(DnsRecord::make_srv(instance, srv));
+  msg.answers.push_back(DnsRecord::make_txt(
+      instance,
+      {"D=" + std::to_string(node.discriminator),
+       "VP=" + std::to_string(node.vendor_id) + "+" +
+           std::to_string(node.product_id),
+       "CM=" + std::string(node.commissioning_open ? "1" : "0")}));
+  msg.additional.push_back(
+      DnsRecord::make_a(DnsName::from_string(hostname), ip));
+  return msg;
+}
+
+std::optional<MatterCommissionable> parse_matter_advertisement(
+    const DnsMessage& msg) {
+  for (const auto& record : msg.answers) {
+    if (record.type != DnsType::kTxt) continue;
+    const std::string name = record.name.to_string();
+    if (name.find("_matterc._udp") == std::string::npos) continue;
+    MatterCommissionable node;
+    node.instance = record.name.labels.empty() ? "" : record.name.labels[0];
+    for (const auto& txt : record.txt()) {
+      if (txt.starts_with("D="))
+        node.discriminator = static_cast<std::uint16_t>(std::atoi(txt.c_str() + 2));
+      else if (txt.starts_with("VP=")) {
+        node.vendor_id = static_cast<std::uint16_t>(std::atoi(txt.c_str() + 3));
+        const auto plus = txt.find('+');
+        if (plus != std::string::npos)
+          node.product_id =
+              static_cast<std::uint16_t>(std::atoi(txt.c_str() + plus + 1));
+      } else if (txt.starts_with("CM=")) {
+        node.commissioning_open = txt[3] == '1';
+      }
+    }
+    return node;
+  }
+  return std::nullopt;
+}
+
+}  // namespace roomnet

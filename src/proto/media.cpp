@@ -1,0 +1,75 @@
+#include "proto/media.hpp"
+
+namespace roomnet {
+
+Bytes encode_rtp(const RtpPacket& packet) {
+  ByteWriter w;
+  w.u8(0x80);  // version 2, no padding/extension/CSRC
+  w.u8(packet.payload_type & 0x7f);
+  w.u16(packet.sequence);
+  w.u32(packet.timestamp);
+  w.u32(packet.ssrc);
+  w.raw(packet.payload);
+  return w.take();
+}
+
+std::optional<RtpPacket> decode_rtp(BytesView raw) {
+  ByteReader r(raw);
+  const auto first = r.u8();
+  if (!first || (*first >> 6) != 2) return std::nullopt;  // version 2
+  RtpPacket p;
+  p.payload_type = r.u8().value_or(0) & 0x7f;
+  p.sequence = r.u16().value_or(0);
+  p.timestamp = r.u32().value_or(0);
+  p.ssrc = r.u32().value_or(0);
+  if (!r.ok()) return std::nullopt;
+  const auto rest = r.rest();
+  p.payload.assign(rest.begin(), rest.end());
+  return p;
+}
+
+Bytes encode_stun(const StunMessage& msg) {
+  ByteWriter w;
+  w.u16(msg.type & 0x3fff);  // top two bits zero
+  w.u16(static_cast<std::uint16_t>(msg.attributes.size()));
+  w.u32(kStunMagicCookie);
+  Bytes tid = msg.transaction_id;
+  tid.resize(12, 0);
+  w.raw(tid);
+  w.raw(msg.attributes);
+  return w.take();
+}
+
+std::optional<StunMessage> decode_stun(BytesView raw) {
+  ByteReader r(raw);
+  const auto type = r.u16();
+  const auto len = r.u16();
+  const auto cookie = r.u32();
+  if (!r.ok() || (*type & 0xc000) != 0 || *cookie != kStunMagicCookie)
+    return std::nullopt;
+  StunMessage m;
+  m.type = *type;
+  auto tid = r.bytes(12);
+  if (!tid) return std::nullopt;
+  m.transaction_id = std::move(*tid);
+  auto attrs = r.bytes(*len);
+  if (!attrs) return std::nullopt;
+  m.attributes = std::move(*attrs);
+  return m;
+}
+
+bool looks_like_rtp(BytesView payload) {
+  return payload.size() >= 12 && (payload[0] >> 6) == 2;
+}
+
+bool looks_like_stun(BytesView payload) {
+  if (payload.size() < 20) return false;
+  if ((payload[0] & 0xc0) != 0) return false;
+  const std::uint32_t cookie = (static_cast<std::uint32_t>(payload[4]) << 24) |
+                               (static_cast<std::uint32_t>(payload[5]) << 16) |
+                               (static_cast<std::uint32_t>(payload[6]) << 8) |
+                               payload[7];
+  return cookie == kStunMagicCookie;
+}
+
+}  // namespace roomnet

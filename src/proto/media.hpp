@@ -1,0 +1,43 @@
+// RTP (RFC 3550) and STUN (RFC 5389) headers. §4.1: RTP is used by 10% of
+// devices (Echo multi-room audio on UDP 55444); Appendix C.2: Google devices
+// send RTP on UDP 10000-10010 that both nDPI and tshark misclassify as STUN
+// — a confusion our classifier cross-validation reproduces, which is why
+// both codecs live here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "netcore/bytes.hpp"
+
+namespace roomnet {
+
+struct RtpPacket {
+  std::uint8_t payload_type = 97;
+  std::uint16_t sequence = 0;
+  std::uint32_t timestamp = 0;
+  std::uint32_t ssrc = 0;
+  Bytes payload;
+};
+
+Bytes encode_rtp(const RtpPacket& packet);
+std::optional<RtpPacket> decode_rtp(BytesView raw);
+
+struct StunMessage {
+  std::uint16_t type = 0x0001;  // Binding Request
+  Bytes transaction_id;         // 12 bytes
+  Bytes attributes;
+};
+
+inline constexpr std::uint32_t kStunMagicCookie = 0x2112a442;
+
+Bytes encode_stun(const StunMessage& msg);
+std::optional<StunMessage> decode_stun(BytesView raw);
+
+/// Classifier heuristics. Note their overlap: an RTP packet whose first byte
+/// is 0x80 and a STUN check share ports in the Google 10000-10010 range —
+/// the source of the real tools' confusion.
+bool looks_like_rtp(BytesView payload);
+bool looks_like_stun(BytesView payload);
+
+}  // namespace roomnet

@@ -1,0 +1,124 @@
+#include "proto/netbios.hpp"
+
+namespace roomnet {
+
+std::string netbios_encode_name(std::string_view name, std::uint8_t suffix) {
+  std::string padded(name.substr(0, 15));
+  // RFC 1002: the "*" wildcard is NUL-padded; ordinary names space-padded.
+  padded.resize(15, name == "*" ? '\0' : ' ');
+  padded.push_back(static_cast<char>(suffix));
+  std::string out;
+  out.reserve(32);
+  for (char c : padded) {
+    const auto b = static_cast<std::uint8_t>(c);
+    out.push_back(static_cast<char>('A' + (b >> 4)));
+    out.push_back(static_cast<char>('A' + (b & 0x0f)));
+  }
+  return out;
+}
+
+std::optional<std::string> netbios_decode_name(std::string_view encoded) {
+  if (encoded.size() != 32) return std::nullopt;
+  std::string out;
+  for (std::size_t i = 0; i < 32; i += 2) {
+    const char hi = encoded[i], lo = encoded[i + 1];
+    if (hi < 'A' || hi > 'P' || lo < 'A' || lo > 'P') return std::nullopt;
+    out.push_back(static_cast<char>(((hi - 'A') << 4) | (lo - 'A')));
+  }
+  // Strip padding (spaces or NULs) and the trailing suffix byte.
+  out.resize(15);
+  while (!out.empty() && (out.back() == ' ' || out.back() == '\0')) out.pop_back();
+  return out;
+}
+
+Bytes encode_netbios(const NetbiosPacket& packet) {
+  ByteWriter w;
+  w.u16(packet.transaction_id);
+  const bool response = packet.op == NetbiosOp::kNodeStatusResponse;
+  w.u16(response ? 0x8400 : 0x0000);  // flags: response+AA vs query
+  w.u16(response ? 0 : 1);            // QDCOUNT
+  w.u16(response ? 1 : 0);            // ANCOUNT
+  w.u16(0);                           // NSCOUNT
+  w.u16(0);                           // ARCOUNT
+  // Encoded name as a single DNS-style label of length 32.
+  const std::string encoded = netbios_encode_name(packet.name);
+  w.u8(32);
+  w.str(encoded);
+  w.u8(0);
+  const std::uint16_t qtype =
+      packet.op == NetbiosOp::kNameQuery ? 0x0020 : 0x0021;  // NB vs NBSTAT
+  w.u16(qtype);
+  w.u16(0x0001);  // class IN
+  if (response) {
+    w.u32(0);  // TTL
+    // RDATA: number of names, then 16-byte names + 2-byte flags each,
+    // then 6-byte statistics stub.
+    ByteWriter rd;
+    rd.u8(static_cast<std::uint8_t>(packet.owned_names.size()));
+    for (const auto& n : packet.owned_names) {
+      std::string padded(n.substr(0, 15));
+      padded.resize(15, ' ');
+      padded.push_back('\0');
+      rd.str(padded);
+      rd.u16(0x0400);  // active, unique, B-node
+    }
+    rd.fill(0, 6);  // unit ID (MAC) zeroed: roomnet responders omit it
+    const Bytes rdata = rd.take();
+    w.u16(static_cast<std::uint16_t>(rdata.size()));
+    w.raw(rdata);
+  }
+  return w.take();
+}
+
+std::optional<NetbiosPacket> decode_netbios(BytesView raw) {
+  ByteReader r(raw);
+  NetbiosPacket p;
+  p.transaction_id = r.u16().value_or(0);
+  const auto flags = r.u16();
+  const auto qd = r.u16();
+  const auto an = r.u16();
+  r.skip(4);  // NSCOUNT + ARCOUNT
+  if (!r.ok()) return std::nullopt;
+  const bool response = (*flags & 0x8000) != 0;
+
+  const auto label_len = r.u8();
+  if (!label_len || *label_len != 32) return std::nullopt;
+  const auto encoded = r.str(32);
+  const auto terminator = r.u8();
+  const auto qtype = r.u16();
+  r.skip(2);  // class
+  if (!r.ok() || !encoded || *terminator != 0) return std::nullopt;
+  const auto name = netbios_decode_name(*encoded);
+  if (!name) return std::nullopt;
+  p.name = *name;
+
+  if (!response && *qd >= 1) {
+    p.op = *qtype == 0x0021 ? NetbiosOp::kNodeStatusQuery : NetbiosOp::kNameQuery;
+    return p;
+  }
+  if (response && *an >= 1 && *qtype == 0x0021) {
+    p.op = NetbiosOp::kNodeStatusResponse;
+    r.skip(4);  // TTL
+    const auto rdlen = r.u16();
+    if (!r.ok() || !rdlen) return std::nullopt;
+    const auto count = r.u8();
+    if (!count) return std::nullopt;
+    for (std::uint8_t i = 0; i < *count; ++i) {
+      auto raw_name = r.str(16);
+      r.skip(2);  // name flags
+      if (!raw_name || !r.ok()) return std::nullopt;
+      std::string n = raw_name->substr(0, 15);
+      while (!n.empty() && (n.back() == ' ' || n.back() == '\0')) n.pop_back();
+      p.owned_names.push_back(std::move(n));
+    }
+    return p;
+  }
+  return std::nullopt;
+}
+
+bool is_netbios_wildcard_scan(BytesView payload) {
+  const auto p = decode_netbios(payload);
+  return p.has_value() && p->op == NetbiosOp::kNodeStatusQuery && p->name == "*";
+}
+
+}  // namespace roomnet

@@ -1,0 +1,42 @@
+// NetBIOS Name Service (RFC 1002): first-level name encoding and the
+// NBSTAT wildcard query. Table 5 shows the exact innosdk scan payload —
+// a node-status query for "*" whose encoded form is the famous
+// "CKAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA" string; §6.2: ten apps scan the LAN
+// with it to enumerate NetBIOS shares.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netcore/bytes.hpp"
+
+namespace roomnet {
+
+inline constexpr std::uint16_t kNetbiosNsPort = 137;
+
+/// First-level encoding: each byte of the space-padded 16-byte name becomes
+/// two letters in 'A'..'P'. The wildcard name "*" encodes to "CK" + 30 * 'A'.
+std::string netbios_encode_name(std::string_view name, std::uint8_t suffix = 0);
+std::optional<std::string> netbios_decode_name(std::string_view encoded);
+
+enum class NetbiosOp { kNameQuery, kNodeStatusQuery, kNodeStatusResponse };
+
+struct NetbiosPacket {
+  std::uint16_t transaction_id = 0;
+  NetbiosOp op = NetbiosOp::kNodeStatusQuery;
+  /// Decoded queried/owning name ("*" for the wildcard status query).
+  std::string name = "*";
+  /// For node-status responses: the names the responder owns.
+  std::vector<std::string> owned_names;
+};
+
+Bytes encode_netbios(const NetbiosPacket& packet);
+std::optional<NetbiosPacket> decode_netbios(BytesView raw);
+
+/// True if the payload is the characteristic wildcard NBSTAT scan
+/// (the "CKAAAA..." probe innosdk sends to every IP in 192.168.0.0/24).
+bool is_netbios_wildcard_scan(BytesView payload);
+
+}  // namespace roomnet

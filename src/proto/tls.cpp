@@ -1,0 +1,306 @@
+#include "proto/tls.hpp"
+
+namespace roomnet {
+
+std::string to_string(TlsVersion v) {
+  switch (v) {
+    case TlsVersion::kTls10: return "TLSv1.0";
+    case TlsVersion::kTls11: return "TLSv1.1";
+    case TlsVersion::kTls12: return "TLSv1.2";
+    case TlsVersion::kTls13: return "TLSv1.3";
+  }
+  return "TLS?";
+}
+
+namespace {
+
+Bytes wrap_record(TlsRecordType type, TlsVersion version, BytesView body) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  // TLS 1.3 records carry the 1.2 version number on the wire for
+  // middlebox compatibility; the true version lives in the handshake.
+  const TlsVersion wire =
+      version == TlsVersion::kTls13 ? TlsVersion::kTls12 : version;
+  w.u16(static_cast<std::uint16_t>(wire));
+  w.u16(static_cast<std::uint16_t>(body.size()));
+  w.raw(body);
+  return w.take();
+}
+
+Bytes wrap_handshake(TlsHandshakeType type, BytesView body) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(0);  // 24-bit length, high byte
+  w.u16(static_cast<std::uint16_t>(body.size()));
+  w.raw(body);
+  return w.take();
+}
+
+constexpr std::uint16_t kSniExtension = 0;
+constexpr std::uint16_t kSupportedVersionsExtension = 43;
+constexpr std::uint32_t kCertMagic = 0x524e4354;  // "RNCT"
+
+}  // namespace
+
+Bytes encode_client_hello(const TlsClientHello& hello) {
+  ByteWriter b;
+  // legacy_version is 1.2 for TLS 1.3 ClientHellos.
+  const TlsVersion legacy =
+      hello.version == TlsVersion::kTls13 ? TlsVersion::kTls12 : hello.version;
+  b.u16(static_cast<std::uint16_t>(legacy));
+  Bytes random = hello.random;
+  random.resize(32, 0);
+  b.raw(random);
+  b.u8(0);  // empty session id
+  b.u16(static_cast<std::uint16_t>(hello.cipher_suites.size() * 2));
+  for (auto cs : hello.cipher_suites) b.u16(cs);
+  b.u8(1).u8(0);  // compression: null only
+
+  ByteWriter ext;
+  if (!hello.sni.empty()) {
+    ByteWriter sni;
+    sni.u16(static_cast<std::uint16_t>(hello.sni.size() + 3));
+    sni.u8(0);  // host_name
+    sni.u16(static_cast<std::uint16_t>(hello.sni.size()));
+    sni.str(hello.sni);
+    ext.u16(kSniExtension);
+    ext.u16(static_cast<std::uint16_t>(sni.size()));
+    ext.raw(sni.data());
+  }
+  if (hello.version == TlsVersion::kTls13) {
+    ext.u16(kSupportedVersionsExtension);
+    ext.u16(3);
+    ext.u8(2);
+    ext.u16(static_cast<std::uint16_t>(TlsVersion::kTls13));
+  }
+  b.u16(static_cast<std::uint16_t>(ext.size()));
+  b.raw(ext.data());
+
+  const Bytes hs = wrap_handshake(TlsHandshakeType::kClientHello, BytesView(b.data()));
+  return wrap_record(TlsRecordType::kHandshake, hello.version, BytesView(hs));
+}
+
+Bytes encode_server_hello(const TlsServerHello& hello) {
+  ByteWriter b;
+  const TlsVersion legacy =
+      hello.version == TlsVersion::kTls13 ? TlsVersion::kTls12 : hello.version;
+  b.u16(static_cast<std::uint16_t>(legacy));
+  Bytes random = hello.random;
+  random.resize(32, 0);
+  b.raw(random);
+  b.u8(0);  // empty session id
+  b.u16(hello.cipher_suite);
+  b.u8(0);  // compression: null
+
+  ByteWriter ext;
+  if (hello.version == TlsVersion::kTls13) {
+    ext.u16(kSupportedVersionsExtension);
+    ext.u16(2);
+    ext.u16(static_cast<std::uint16_t>(TlsVersion::kTls13));
+  }
+  b.u16(static_cast<std::uint16_t>(ext.size()));
+  b.raw(ext.data());
+
+  const Bytes hs = wrap_handshake(TlsHandshakeType::kServerHello, BytesView(b.data()));
+  return wrap_record(TlsRecordType::kHandshake, hello.version, BytesView(hs));
+}
+
+Bytes encode_certificate(const CertificateInfo& cert, TlsVersion version,
+                         bool encrypted) {
+  ByteWriter body;
+  body.u32(kCertMagic);
+  body.u16(static_cast<std::uint16_t>(cert.subject_cn.size()));
+  body.str(cert.subject_cn);
+  body.u16(static_cast<std::uint16_t>(cert.issuer_cn.size()));
+  body.str(cert.issuer_cn);
+  body.u32(cert.validity_days);
+  body.u16(cert.key_bits);
+  if (encrypted) {
+    // Emitted as opaque ciphertext: a passive observer (and our decoder)
+    // sees only an application-data record of plausible size.
+    Rng scramble(cert.validity_days * 7919u + cert.key_bits);
+    Bytes opaque = scramble.bytes(body.size() + 48);
+    return wrap_record(TlsRecordType::kApplicationData, version, BytesView(opaque));
+  }
+  const Bytes hs = wrap_handshake(TlsHandshakeType::kCertificate, BytesView(body.data()));
+  return wrap_record(TlsRecordType::kHandshake, version, BytesView(hs));
+}
+
+Bytes encode_application_data(Rng& rng, std::size_t length, TlsVersion version) {
+  return wrap_record(TlsRecordType::kApplicationData, version,
+                     BytesView(rng.bytes(length)));
+}
+
+std::optional<TlsRecord> decode_tls_record(BytesView raw) {
+  ByteReader r(raw);
+  const auto type = r.u8();
+  const auto version = r.u16();
+  const auto len = r.u16();
+  if (!r.ok()) return std::nullopt;
+  if (*type < 20 || *type > 23) return std::nullopt;
+  if ((*version >> 8) != 0x03) return std::nullopt;
+  auto body = r.bytes(*len);
+  if (!body) return std::nullopt;
+  TlsRecord rec;
+  rec.type = static_cast<TlsRecordType>(*type);
+  rec.record_version = static_cast<TlsVersion>(*version);
+  rec.body = std::move(*body);
+  return rec;
+}
+
+std::vector<TlsRecord> decode_tls_records(BytesView raw) {
+  std::vector<TlsRecord> out;
+  std::size_t offset = 0;
+  while (offset + 5 <= raw.size()) {
+    auto rec = decode_tls_record(raw.subspan(offset));
+    if (!rec) break;
+    offset += 5 + rec->body.size();
+    out.push_back(std::move(*rec));
+  }
+  return out;
+}
+
+namespace {
+/// Reads handshake header, returns (type, body reader) when matching.
+std::optional<BytesView> handshake_body(const TlsRecord& record,
+                                        TlsHandshakeType want) {
+  if (record.type != TlsRecordType::kHandshake) return std::nullopt;
+  ByteReader r{BytesView(record.body)};
+  const auto type = r.u8();
+  const auto len_hi = r.u8();
+  const auto len_lo = r.u16();
+  if (!r.ok() || *type != static_cast<std::uint8_t>(want)) return std::nullopt;
+  const std::size_t len = (static_cast<std::size_t>(*len_hi) << 16) | *len_lo;
+  return r.view(len);
+}
+
+/// Scans extensions for supported_versions advertising TLS 1.3.
+bool extensions_advertise_tls13(ByteReader& r) {
+  const auto ext_len = r.u16();
+  if (!ext_len) return false;
+  auto ext_block = r.view(*ext_len);
+  if (!ext_block) return false;
+  ByteReader e(*ext_block);
+  while (e.remaining() >= 4) {
+    const auto etype = e.u16();
+    const auto elen = e.u16();
+    auto body = e.view(elen.value_or(0));
+    if (!etype || !body) return false;
+    if (*etype == kSupportedVersionsExtension) {
+      // Client form: u8 count then list; server form: bare u16.
+      ByteReader v(*body);
+      if (body->size() == 2) {
+        return v.u16() == static_cast<std::uint16_t>(TlsVersion::kTls13);
+      }
+      v.u8();  // list length
+      while (v.remaining() >= 2)
+        if (v.u16() == static_cast<std::uint16_t>(TlsVersion::kTls13)) return true;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+std::optional<TlsClientHello> decode_client_hello(const TlsRecord& record) {
+  auto body = handshake_body(record, TlsHandshakeType::kClientHello);
+  if (!body) return std::nullopt;
+  ByteReader r(*body);
+  TlsClientHello hello;
+  const auto legacy = r.u16();
+  if (!legacy) return std::nullopt;
+  hello.version = static_cast<TlsVersion>(*legacy);
+  auto random = r.bytes(32);
+  if (!random) return std::nullopt;
+  hello.random = std::move(*random);
+  const auto sid_len = r.u8();
+  if (!sid_len || !r.skip(*sid_len)) return std::nullopt;
+  const auto cs_len = r.u16();
+  if (!cs_len || *cs_len % 2 != 0) return std::nullopt;
+  for (std::uint16_t i = 0; i < *cs_len / 2; ++i)
+    hello.cipher_suites.push_back(r.u16().value_or(0));
+  const auto comp_len = r.u8();
+  if (!comp_len || !r.skip(*comp_len)) return std::nullopt;
+  if (r.remaining() >= 2) {
+    // Extensions: walk them for SNI and supported_versions.
+    const std::size_t ext_start = r.offset();
+    ByteReader peek(*body);
+    peek.seek(ext_start);
+    if (extensions_advertise_tls13(peek)) hello.version = TlsVersion::kTls13;
+    const auto ext_len = r.u16();
+    if (ext_len) {
+      auto block = r.view(*ext_len);
+      if (block) {
+        ByteReader e(*block);
+        while (e.remaining() >= 4) {
+          const auto etype = e.u16();
+          const auto elen = e.u16();
+          auto ebody = e.view(elen.value_or(0));
+          if (!etype || !ebody) break;
+          if (*etype == kSniExtension) {
+            ByteReader s(*ebody);
+            s.u16();  // list length
+            s.u8();   // name type
+            const auto nlen = s.u16();
+            if (nlen) hello.sni = s.str(*nlen).value_or("");
+          }
+        }
+      }
+    }
+  }
+  if (!r.ok()) return std::nullopt;
+  return hello;
+}
+
+std::optional<TlsServerHello> decode_server_hello(const TlsRecord& record) {
+  auto body = handshake_body(record, TlsHandshakeType::kServerHello);
+  if (!body) return std::nullopt;
+  ByteReader r(*body);
+  TlsServerHello hello;
+  const auto legacy = r.u16();
+  if (!legacy) return std::nullopt;
+  hello.version = static_cast<TlsVersion>(*legacy);
+  auto random = r.bytes(32);
+  if (!random) return std::nullopt;
+  hello.random = std::move(*random);
+  const auto sid_len = r.u8();
+  if (!sid_len || !r.skip(*sid_len)) return std::nullopt;
+  hello.cipher_suite = r.u16().value_or(0);
+  r.skip(1);  // compression
+  if (r.ok() && r.remaining() >= 2) {
+    ByteReader peek(*body);
+    peek.seek(r.offset());
+    if (extensions_advertise_tls13(peek)) hello.version = TlsVersion::kTls13;
+  }
+  return hello;
+}
+
+std::optional<CertificateInfo> decode_certificate(const TlsRecord& record) {
+  auto body = handshake_body(record, TlsHandshakeType::kCertificate);
+  if (!body) return std::nullopt;
+  ByteReader r(*body);
+  const auto magic = r.u32();
+  if (!magic || *magic != kCertMagic) return std::nullopt;
+  CertificateInfo cert;
+  const auto subject_len = r.u16();
+  if (!subject_len) return std::nullopt;
+  cert.subject_cn = r.str(*subject_len).value_or("");
+  const auto issuer_len = r.u16();
+  if (!issuer_len) return std::nullopt;
+  cert.issuer_cn = r.str(*issuer_len).value_or("");
+  cert.validity_days = r.u32().value_or(0);
+  cert.key_bits = r.u16().value_or(0);
+  if (!r.ok()) return std::nullopt;
+  return cert;
+}
+
+bool looks_like_tls(BytesView payload) {
+  if (payload.size() < 5) return false;
+  const std::uint8_t type = payload[0];
+  if (type < 20 || type > 23) return false;
+  if (payload[1] != 0x03) return false;
+  if (payload[2] > 0x04) return false;
+  const std::size_t len = (static_cast<std::size_t>(payload[3]) << 8) | payload[4];
+  return len > 0 && len <= 1 << 14;
+}
+
+}  // namespace roomnet

@@ -1,0 +1,107 @@
+// TLS record/handshake framing with certificate *metadata*. The paper never
+// decrypts device TLS (§3.6); its §5.2 findings are about handshake-visible
+// properties: protocol version (1.2 vs 1.3 per vendor), certificate
+// lifetimes (3 months for Echo, 20 years for Google, 20-28 years for
+// D-Link/SmartThings/Hue), issuer/subject names (Echo uses local IPs as CN),
+// self-signed vs private PKI, key sizes (the port-8009 64-122 bit finding),
+// and encrypted-certificate handshakes (Apple TLS 1.3).
+//
+// Record and handshake headers are real TLS wire format; the certificate
+// body is a compact tagged encoding of exactly those metadata fields (not
+// full X.509 DER — see DESIGN.md substitutions).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netcore/bytes.hpp"
+#include "netcore/rng.hpp"
+#include "netcore/time.hpp"
+
+namespace roomnet {
+
+enum class TlsVersion : std::uint16_t {
+  kTls10 = 0x0301,
+  kTls11 = 0x0302,
+  kTls12 = 0x0303,
+  kTls13 = 0x0304,
+};
+
+std::string to_string(TlsVersion v);
+
+/// Certificate metadata: the fields the paper's analysis extracts.
+struct CertificateInfo {
+  std::string subject_cn;
+  std::string issuer_cn;
+  /// Validity window in days relative to issuance.
+  std::uint32_t validity_days = 365;
+  /// Public key strength in bits; the Google port-8009 finding is 64-122.
+  std::uint16_t key_bits = 2048;
+
+  [[nodiscard]] bool self_signed() const { return subject_cn == issuer_cn; }
+  [[nodiscard]] double validity_years() const { return validity_days / 365.25; }
+};
+
+struct TlsClientHello {
+  TlsVersion version = TlsVersion::kTls12;
+  Bytes random;  // 32 bytes
+  std::vector<std::uint16_t> cipher_suites;
+  std::string sni;  // empty when absent (typical on local networks)
+};
+
+struct TlsServerHello {
+  TlsVersion version = TlsVersion::kTls12;
+  Bytes random;
+  std::uint16_t cipher_suite = 0x1301;
+};
+
+enum class TlsRecordType : std::uint8_t {
+  kChangeCipherSpec = 20,
+  kAlert = 21,
+  kHandshake = 22,
+  kApplicationData = 23,
+};
+
+enum class TlsHandshakeType : std::uint8_t {
+  kClientHello = 1,
+  kServerHello = 2,
+  kCertificate = 11,
+};
+
+/// One decoded TLS record.
+struct TlsRecord {
+  TlsRecordType type = TlsRecordType::kHandshake;
+  TlsVersion record_version = TlsVersion::kTls12;
+  Bytes body;
+};
+
+// -- encoders ---------------------------------------------------------------
+
+Bytes encode_client_hello(const TlsClientHello& hello);
+Bytes encode_server_hello(const TlsServerHello& hello);
+/// Certificate handshake record. In TLS 1.3 the certificate flight is
+/// encrypted on the real wire; pass encrypted=true to emit it as opaque
+/// application data instead (the passive observer then cannot read it —
+/// exactly the Apple behavior §5.2 reports).
+Bytes encode_certificate(const CertificateInfo& cert, TlsVersion version,
+                         bool encrypted);
+/// Opaque encrypted application-data record of the given length.
+Bytes encode_application_data(Rng& rng, std::size_t length,
+                              TlsVersion version = TlsVersion::kTls12);
+
+// -- decoders ---------------------------------------------------------------
+
+std::optional<TlsRecord> decode_tls_record(BytesView raw);
+/// Splits a byte stream into consecutive TLS records.
+std::vector<TlsRecord> decode_tls_records(BytesView raw);
+std::optional<TlsClientHello> decode_client_hello(const TlsRecord& record);
+std::optional<TlsServerHello> decode_server_hello(const TlsRecord& record);
+std::optional<CertificateInfo> decode_certificate(const TlsRecord& record);
+
+/// True if the payload begins with a plausible TLS record (classifier
+/// heuristic: content type 20-23, version 0x03xx).
+bool looks_like_tls(BytesView payload);
+
+}  // namespace roomnet

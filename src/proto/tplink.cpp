@@ -1,0 +1,112 @@
+#include "proto/tplink.hpp"
+
+namespace roomnet {
+
+namespace {
+constexpr std::uint8_t kInitialKey = 171;
+}
+
+Bytes tplink_encrypt(BytesView plaintext) {
+  Bytes out;
+  out.reserve(plaintext.size());
+  std::uint8_t key = kInitialKey;
+  for (std::uint8_t b : plaintext) {
+    const std::uint8_t c = b ^ key;
+    key = c;  // autokey: ciphertext feeds the keystream
+    out.push_back(c);
+  }
+  return out;
+}
+
+Bytes tplink_decrypt(BytesView ciphertext) {
+  Bytes out;
+  out.reserve(ciphertext.size());
+  std::uint8_t key = kInitialKey;
+  for (std::uint8_t c : ciphertext) {
+    out.push_back(static_cast<std::uint8_t>(c ^ key));
+    key = c;
+  }
+  return out;
+}
+
+Bytes encode_tplink_udp(const json::Value& command) {
+  const std::string text = command.dump();
+  return tplink_encrypt(BytesView(bytes_of(text)));
+}
+
+std::optional<json::Value> decode_tplink_udp(BytesView payload) {
+  const Bytes plain = tplink_decrypt(payload);
+  return json::parse(string_of(BytesView(plain)));
+}
+
+Bytes encode_tplink_tcp(const json::Value& command) {
+  const Bytes body = encode_tplink_udp(command);
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(body.size()));
+  w.raw(body);
+  return w.take();
+}
+
+std::optional<json::Value> decode_tplink_tcp(BytesView payload) {
+  ByteReader r(payload);
+  const auto len = r.u32();
+  if (!len) return std::nullopt;
+  auto body = r.view(*len);
+  if (!body) return std::nullopt;
+  return decode_tplink_udp(*body);
+}
+
+json::Value tplink_get_sysinfo_request() {
+  json::Object sys;
+  sys.emplace("get_sysinfo", json::Object{});
+  json::Object root;
+  root.emplace("system", std::move(sys));
+  return json::Value(std::move(root));
+}
+
+json::Value TplinkSysinfo::to_json() const {
+  json::Object info;
+  info.emplace("alias", alias);
+  info.emplace("dev_name", dev_name);
+  info.emplace("model", model);
+  info.emplace("deviceId", device_id);
+  info.emplace("hwId", hw_id);
+  info.emplace("oemId", oem_id);
+  info.emplace("mac", mac);
+  info.emplace("latitude", latitude);
+  info.emplace("longitude", longitude);
+  info.emplace("relay_state", relay_state);
+  info.emplace("err_code", 0);
+  json::Object sys;
+  sys.emplace("get_sysinfo", std::move(info));
+  json::Object root;
+  root.emplace("system", std::move(sys));
+  return json::Value(std::move(root));
+}
+
+std::optional<TplinkSysinfo> TplinkSysinfo::from_json(
+    const json::Value& response) {
+  const json::Value* info = response.find_path("system.get_sysinfo");
+  if (info == nullptr || !info->is_object()) return std::nullopt;
+  TplinkSysinfo s;
+  const auto get_str = [&](const char* key, std::string& out) {
+    if (const auto* v = info->find(key); v != nullptr && v->is_string())
+      out = v->as_string();
+  };
+  get_str("alias", s.alias);
+  get_str("dev_name", s.dev_name);
+  get_str("model", s.model);
+  get_str("deviceId", s.device_id);
+  get_str("hwId", s.hw_id);
+  get_str("oemId", s.oem_id);
+  get_str("mac", s.mac);
+  if (const auto* v = info->find("latitude"); v != nullptr && v->is_number())
+    s.latitude = v->as_number();
+  if (const auto* v = info->find("longitude"); v != nullptr && v->is_number())
+    s.longitude = v->as_number();
+  if (const auto* v = info->find("relay_state"); v != nullptr && v->is_number())
+    s.relay_state = static_cast<int>(v->as_number());
+  return s;
+}
+
+}  // namespace roomnet

@@ -1,0 +1,54 @@
+// TPLINK-SHP: TP-Link's Smart Home Protocol. JSON commands obfuscated with
+// an XOR autokey cipher (initial key 171); UDP broadcast on port 9999 for
+// discovery, TCP on 9999 (with a 4-byte length prefix) for control.
+//
+// §5.1: TP-Link devices answer discovery with their full sysinfo — device
+// alias, deviceId, hwId, oemId, and the home's latitude/longitude in
+// plaintext (Table 5) — and accept unauthenticated control commands.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "netcore/bytes.hpp"
+#include "proto/json.hpp"
+
+namespace roomnet {
+
+inline constexpr std::uint16_t kTplinkPort = 9999;
+
+/// XOR autokey "encryption" (key 171): each ciphertext byte keys the next.
+/// Involution pair: tplink_decrypt(tplink_encrypt(x)) == x.
+Bytes tplink_encrypt(BytesView plaintext);
+Bytes tplink_decrypt(BytesView ciphertext);
+
+/// UDP datagram payload: the obfuscated JSON with no framing.
+Bytes encode_tplink_udp(const json::Value& command);
+std::optional<json::Value> decode_tplink_udp(BytesView payload);
+
+/// TCP payload: 4-byte big-endian length prefix then the obfuscated JSON.
+Bytes encode_tplink_tcp(const json::Value& command);
+std::optional<json::Value> decode_tplink_tcp(BytesView payload);
+
+/// The standard discovery probe: {"system":{"get_sysinfo":{}}}.
+json::Value tplink_get_sysinfo_request();
+
+/// Sysinfo response fields the paper calls out (Table 5 + §6.1).
+struct TplinkSysinfo {
+  std::string alias;        // user-visible device name
+  std::string dev_name;     // marketing name
+  std::string model;
+  std::string device_id;    // 40-hex-char persistent ID
+  std::string hw_id;
+  std::string oem_id;
+  std::string mac;          // MAC address, colon form
+  double latitude = 0;      // plaintext home geolocation (!)
+  double longitude = 0;
+  int relay_state = 0;
+
+  [[nodiscard]] json::Value to_json() const;  // full get_sysinfo response
+  static std::optional<TplinkSysinfo> from_json(const json::Value& response);
+};
+
+}  // namespace roomnet

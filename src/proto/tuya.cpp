@@ -1,0 +1,101 @@
+#include "proto/tuya.hpp"
+
+namespace roomnet {
+
+namespace {
+constexpr std::uint32_t kPrefix = 0x000055aa;
+constexpr std::uint32_t kSuffix = 0x0000aa55;
+
+/// CRC32 (IEEE, reflected), as the Tuya frame uses; table built on demand.
+std::uint32_t crc32(BytesView data) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = 0xffffffffu;
+  for (std::uint8_t b : data) c = table[(c ^ b) & 0xff] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+}  // namespace
+
+Bytes encode_tuya_frame(const TuyaFrame& frame) {
+  ByteWriter w;
+  w.u32(kPrefix);
+  w.u32(frame.seq);
+  w.u32(frame.command);
+  w.u32(static_cast<std::uint32_t>(frame.payload.size() + 8));  // payload+crc+suffix
+  w.raw(frame.payload);
+  const std::uint32_t crc = crc32(BytesView(frame.payload));
+  w.u32(crc);
+  w.u32(kSuffix);
+  return w.take();
+}
+
+std::optional<TuyaFrame> decode_tuya_frame(BytesView raw) {
+  ByteReader r(raw);
+  const auto prefix = r.u32();
+  if (!prefix || *prefix != kPrefix) return std::nullopt;
+  TuyaFrame f;
+  f.seq = r.u32().value_or(0);
+  f.command = r.u32().value_or(0);
+  const auto len = r.u32();
+  if (!r.ok() || *len < 8) return std::nullopt;
+  auto payload = r.bytes(*len - 8);
+  const auto crc = r.u32();
+  const auto suffix = r.u32();
+  if (!payload || !r.ok() || *suffix != kSuffix) return std::nullopt;
+  if (crc32(BytesView(*payload)) != *crc) return std::nullopt;
+  f.payload = std::move(*payload);
+  return f;
+}
+
+json::Value TuyaDiscovery::to_json() const {
+  json::Object o;
+  o.emplace("gwId", gw_id);
+  o.emplace("ip", ip);
+  o.emplace("productKey", product_key);
+  o.emplace("version", version);
+  o.emplace("active", 2);
+  o.emplace("ablilty", 0);  // (sic) — the real firmware misspells it
+  o.emplace("encrypt", true);
+  return json::Value(std::move(o));
+}
+
+std::optional<TuyaDiscovery> TuyaDiscovery::from_json(const json::Value& v) {
+  if (!v.is_object()) return std::nullopt;
+  TuyaDiscovery d;
+  const auto get = [&](const char* key, std::string& out) -> bool {
+    const auto* field = v.find(key);
+    if (field == nullptr || !field->is_string()) return false;
+    out = field->as_string();
+    return true;
+  };
+  if (!get("gwId", d.gw_id)) return std::nullopt;
+  get("ip", d.ip);
+  get("productKey", d.product_key);
+  get("version", d.version);
+  return d;
+}
+
+Bytes encode_tuya_discovery(const TuyaDiscovery& d, std::uint32_t seq) {
+  TuyaFrame f;
+  f.seq = seq;
+  f.command = 0x13;
+  f.payload = bytes_of(d.to_json().dump());
+  return encode_tuya_frame(f);
+}
+
+std::optional<TuyaDiscovery> decode_tuya_discovery(BytesView raw) {
+  const auto frame = decode_tuya_frame(raw);
+  if (!frame) return std::nullopt;
+  const auto body = json::parse(string_of(BytesView(frame->payload)));
+  if (!body) return std::nullopt;
+  return TuyaDiscovery::from_json(*body);
+}
+
+}  // namespace roomnet

@@ -1,0 +1,48 @@
+// TuyaLP: Tuya's local UDP discovery protocol on ports 6666 (plaintext) and
+// 6667 (AES in the real protocol; modeled as an opaque keyed transform
+// here). Frame layout follows the wire format TinyTuya documents:
+// 000055aa | seq | command | length | payload | crc | 0000aa55.
+//
+// §5.1: Tuya devices broadcast discovery messages but only answer their own
+// companion apps; the Jinvoo bulb broadcasts its GWid and product key in
+// plaintext — which is exactly what the exposure analysis extracts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "netcore/bytes.hpp"
+#include "proto/json.hpp"
+
+namespace roomnet {
+
+inline constexpr std::uint16_t kTuyaPortPlain = 6666;
+inline constexpr std::uint16_t kTuyaPortEncrypted = 6667;
+
+struct TuyaFrame {
+  std::uint32_t seq = 0;
+  std::uint32_t command = 0;  // 0x13 broadcast/discovery in real devices
+  Bytes payload;
+};
+
+Bytes encode_tuya_frame(const TuyaFrame& frame);
+std::optional<TuyaFrame> decode_tuya_frame(BytesView raw);
+
+/// The discovery beacon body a Tuya device broadcasts: device id (GWid),
+/// local IP, product key, firmware version.
+struct TuyaDiscovery {
+  std::string gw_id;
+  std::string ip;
+  std::string product_key;
+  std::string version = "3.3";
+
+  [[nodiscard]] json::Value to_json() const;
+  static std::optional<TuyaDiscovery> from_json(const json::Value& v);
+};
+
+/// Full plaintext discovery datagram (frame around the JSON body).
+Bytes encode_tuya_discovery(const TuyaDiscovery& d, std::uint32_t seq = 1);
+std::optional<TuyaDiscovery> decode_tuya_discovery(BytesView raw);
+
+}  // namespace roomnet

@@ -1,0 +1,80 @@
+// Service probing and vulnerability scanning — the Nessus role in §3.1/§5.2.
+// The prober grabs banners, fetches UPnP descriptions, negotiates TLS to
+// read certificate metadata, and tests the specific exposures the paper
+// reports (backup files, unauthenticated ONVIF snapshots, account listings,
+// DNS cache snooping). The vulnerability scanner is a rule engine over those
+// observations, annotated with the CVE/plugin identifiers the paper cites.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "proto/tls.hpp"
+#include "scan/portscan.hpp"
+
+namespace roomnet {
+
+struct ServiceObservation {
+  std::uint16_t port = 0;
+  bool udp = false;
+  /// nmap's port-table guess.
+  std::string inferred_service;
+  /// After banner/behavior validation (the paper's manual correction, §3.5).
+  std::string corrected_service;
+  std::string banner;  // HTTP Server header, telnet greeting, DNS version
+  std::optional<CertificateInfo> certificate;
+  std::optional<TlsVersion> tls_version;
+  bool backup_exposed = false;
+  bool snapshot_exposed = false;
+  bool accounts_exposed = false;
+  bool jquery_12 = false;
+  bool dns_cache_snoopable = false;
+  bool dns_reveals_resolver = false;
+};
+
+struct DeviceAudit {
+  ScanTarget target;
+  std::vector<ServiceObservation> services;
+};
+
+/// Drives application-layer probes against the open ports found by
+/// PortScanner. Asynchronous like the port scan: call start(), run the loop
+/// past estimated_duration(), then read audits().
+class ServiceProber {
+ public:
+  explicit ServiceProber(Host& scanner) : scanner_(&scanner) {}
+
+  void start(const std::vector<PortScanReport>& reports);
+  [[nodiscard]] SimTime estimated_duration() const { return duration_; }
+  [[nodiscard]] const std::vector<DeviceAudit>& audits() const { return audits_; }
+  [[nodiscard]] std::vector<DeviceAudit>& audits() { return audits_; }
+
+ private:
+  void probe_tcp(DeviceAudit& audit, std::size_t service_index, double at_s);
+  void probe_udp(DeviceAudit& audit, std::size_t service_index, double at_s);
+
+  Host* scanner_;
+  std::vector<DeviceAudit> audits_;
+  SimTime duration_;
+  Rng rng_{0xdecaf};
+};
+
+enum class Severity { kInfo, kLow, kMedium, kHigh, kCritical };
+std::string to_string(Severity severity);
+
+struct VulnFinding {
+  MacAddress mac;
+  std::string device;
+  Severity severity = Severity::kInfo;
+  /// CVE or Nessus plugin id where the paper cites one.
+  std::string id;
+  std::string title;
+  std::string evidence;
+};
+
+/// The rule engine. Pure function of the audit data.
+std::vector<VulnFinding> scan_vulnerabilities(
+    const std::vector<DeviceAudit>& audits);
+
+}  // namespace roomnet

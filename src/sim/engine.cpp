@@ -1,0 +1,53 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+namespace roomnet {
+
+void EventLoop::schedule_at(SimTime at, Action action) {
+  Event e;
+  e.at = std::max(at, now_);
+  e.seq = next_seq_++;
+  e.action = std::move(action);
+  queue_.push(std::move(e));
+}
+
+std::uint64_t EventLoop::schedule_periodic(SimTime phase, SimTime period,
+                                           Action action) {
+  const std::uint64_t handle = next_periodic_++;
+  Event e;
+  e.at = now_ + phase;
+  e.seq = next_seq_++;
+  e.action = std::move(action);
+  e.periodic_handle = handle;
+  e.period = period;
+  queue_.push(std::move(e));
+  return handle;
+}
+
+void EventLoop::cancel_periodic(std::uint64_t handle) {
+  cancelled_.push_back(handle);
+}
+
+void EventLoop::run_until(SimTime end) {
+  while (!queue_.empty() && queue_.top().at <= end) {
+    Event e = queue_.top();
+    queue_.pop();
+    now_ = e.at;
+    if (e.periodic_handle != 0) {
+      if (std::find(cancelled_.begin(), cancelled_.end(), e.periodic_handle) !=
+          cancelled_.end()) {
+        continue;  // dropped without rescheduling
+      }
+      Event next = e;
+      next.at = e.at + e.period;
+      next.seq = next_seq_++;
+      next.action = e.action;
+      queue_.push(std::move(next));
+    }
+    e.action();
+  }
+  now_ = std::max(now_, end);
+}
+
+}  // namespace roomnet

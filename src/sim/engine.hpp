@@ -1,0 +1,59 @@
+// Discrete-event simulation engine. Single-threaded, virtual time only;
+// events fire in (time, insertion-order) order so runs are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "netcore/time.hpp"
+
+namespace roomnet {
+
+class EventLoop {
+ public:
+  using Action = std::function<void()>;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `action` at absolute time `at` (clamped to now).
+  void schedule_at(SimTime at, Action action);
+  /// Schedules `action` after `delay`.
+  void schedule_in(SimTime delay, Action action) {
+    schedule_at(now_ + delay, std::move(action));
+  }
+  /// Schedules `action` every `period`, first firing at now + phase.
+  /// Returns a handle that can be cancelled.
+  std::uint64_t schedule_periodic(SimTime phase, SimTime period, Action action);
+  void cancel_periodic(std::uint64_t handle);
+
+  /// Runs all events up to and including `end`; leaves now() == end.
+  void run_until(SimTime end);
+  /// Drains every pending one-shot event regardless of time (periodic timers
+  /// do not count: they would never drain).
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;  // tie-break: FIFO within a timestamp
+    Action action;
+    std::uint64_t periodic_handle = 0;  // nonzero for periodic events
+    SimTime period;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_periodic_ = 1;
+  std::vector<std::uint64_t> cancelled_;
+};
+
+}  // namespace roomnet

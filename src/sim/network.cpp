@@ -1,0 +1,50 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+namespace roomnet {
+
+void Switch::attach(NetworkNode& node) {
+  nodes_.push_back(&node);
+  by_mac_[node.mac()] = &node;
+}
+
+void Switch::detach(const NetworkNode& node) {
+  nodes_.erase(std::remove(nodes_.begin(), nodes_.end(), &node), nodes_.end());
+  by_mac_.erase(node.mac());
+}
+
+void Switch::transmit(BytesView frame, const NetworkNode* sender) {
+  if (frame.size() < 14) return;  // runt
+  ++frames_;
+  for (const auto& tap : taps_) tap(loop_->now(), frame);
+
+  // One event per frame; the fan-out happens inside deliver().
+  loop_->schedule_in(kPropagationDelay,
+                     [this, sender, copy = Bytes(frame.begin(), frame.end())] {
+                       deliver(copy, sender);
+                     });
+}
+
+void Switch::deliver(const Bytes& frame, const NetworkNode* sender) {
+  const auto packet = decode_frame(BytesView(frame));
+  if (!packet) return;
+  for (const auto& tap : packet_taps_)
+    tap(loop_->now(), *packet, BytesView(frame));
+
+  const MacAddress dst = packet->eth.dst;
+  if (!dst.is_multicast()) {
+    const auto it = by_mac_.find(dst);
+    if (it != by_mac_.end()) {
+      if (it->second != sender) it->second->receive(*packet, BytesView(frame));
+      return;
+    }
+    // Unknown unicast floods, like a real switch before learning.
+  }
+  for (NetworkNode* node : nodes_) {
+    if (node == sender) continue;
+    node->receive(*packet, BytesView(frame));
+  }
+}
+
+}  // namespace roomnet

@@ -1,0 +1,68 @@
+// The local broadcast domain: a learning L2 switch standing in for the lab's
+// Wi-Fi AP. Frames addressed to a known unicast MAC are delivered to that
+// port; multicast/broadcast (and unknown unicast) frames flood. Taps see
+// every frame — that is the paper's tcpdump-on-the-AP vantage point.
+//
+// Performance note: each frame is decoded exactly once at delivery time and
+// the decoded Packet is shared by every receiver and packet tap; a flooded
+// frame costs one decode + N handler calls, not N decodes.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "netcore/address.hpp"
+#include "netcore/bytes.hpp"
+#include "netcore/packet.hpp"
+#include "sim/engine.hpp"
+
+namespace roomnet {
+
+/// Anything attachable to the switch (devices, phones, honeypots, scanners).
+class NetworkNode {
+ public:
+  virtual ~NetworkNode() = default;
+  [[nodiscard]] virtual MacAddress mac() const = 0;
+  /// `packet` is the shared decode of `raw`; implementations must not retain
+  /// references past the call.
+  virtual void receive(const Packet& packet, BytesView raw) = 0;
+};
+
+class Switch {
+ public:
+  /// Raw tap: invoked at transmit time for every frame (the capture sink).
+  using Tap = std::function<void(SimTime, BytesView)>;
+  /// Decoded tap: invoked once per frame at delivery time, sharing the
+  /// receivers' decode. Preferred for streaming analysis.
+  using PacketTap = std::function<void(SimTime, const Packet&, BytesView)>;
+
+  explicit Switch(EventLoop& loop) : loop_(&loop) {}
+
+  void attach(NetworkNode& node);
+  void detach(const NetworkNode& node);
+  void add_tap(Tap tap) { taps_.push_back(std::move(tap)); }
+  void add_packet_tap(PacketTap tap) { packet_taps_.push_back(std::move(tap)); }
+
+  /// Queues a frame for delivery after the propagation delay. The sender
+  /// never receives its own frame back.
+  void transmit(BytesView frame, const NetworkNode* sender);
+
+  [[nodiscard]] EventLoop& loop() { return *loop_; }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::uint64_t frames_transmitted() const { return frames_; }
+
+ private:
+  void deliver(const Bytes& frame, const NetworkNode* sender);
+
+  static constexpr SimTime kPropagationDelay = SimTime::from_us(300);
+
+  EventLoop* loop_;
+  std::vector<NetworkNode*> nodes_;
+  std::unordered_map<MacAddress, NetworkNode*> by_mac_;
+  std::vector<Tap> taps_;
+  std::vector<PacketTap> packet_taps_;
+  std::uint64_t frames_ = 0;
+};
+
+}  // namespace roomnet

@@ -1,0 +1,135 @@
+#include "testbed/catalog.hpp"
+
+#include <set>
+
+namespace roomnet {
+
+std::string to_string(DeviceCategory category) {
+  switch (category) {
+    case DeviceCategory::kGameConsole: return "Game Console";
+    case DeviceCategory::kGenericIot: return "Generic IoT";
+    case DeviceCategory::kHomeAppliance: return "Home Appliance";
+    case DeviceCategory::kHomeAutomation: return "Home Automation";
+    case DeviceCategory::kMediaTv: return "Media/TV";
+    case DeviceCategory::kSurveillance: return "Surveillance";
+    case DeviceCategory::kVoiceAssistant: return "Voice Assistant";
+  }
+  return "?";
+}
+
+const std::vector<DeviceSpec>& moniotr_catalog() {
+  using C = DeviceCategory;
+  using P = Platform;
+  static const std::vector<DeviceSpec> catalog = {
+      // ------------------------------------------------- Game Console (1)
+      {"Nintendo", "Switch", C::kGameConsole, P::kNone},
+      // -------------------------------------------------- Generic IoT (7)
+      {"Keyco", "Air Sensor", C::kGenericIot, P::kNone},
+      {"Oxylink", "Oximeter", C::kGenericIot, P::kNone},
+      {"Renpho", "Scale", C::kGenericIot, P::kNone},
+      {"Tuya", "Generic Sensor", C::kGenericIot, P::kTuya},
+      {"Withings", "Sleep Mat", C::kGenericIot, P::kNone},
+      {"Withings", "Body+ Scale", C::kGenericIot, P::kNone},
+      {"Withings", "BPM Connect", C::kGenericIot, P::kNone},
+      // ---------------------------------------------- Home Appliance (10)
+      {"Anova", "Precision Cooker", C::kHomeAppliance, P::kNone},
+      {"Behmor", "Brewer", C::kHomeAppliance, P::kNone},
+      {"Blueair", "Purifier", C::kHomeAppliance, P::kNone},
+      {"GE", "Microwave", C::kHomeAppliance, P::kNone},
+      {"LG", "Dishwasher", C::kHomeAppliance, P::kNone},
+      {"Samsung", "Fridge", C::kHomeAppliance, P::kSmartThings},
+      {"Samsung", "Washer", C::kHomeAppliance, P::kSmartThings},
+      {"Samsung", "Dryer", C::kHomeAppliance, P::kSmartThings},
+      {"Smarter", "iKettle", C::kHomeAppliance, P::kNone},
+      {"Xiaomi", "Rice Cooker", C::kHomeAppliance, P::kNone},
+      // -------------------------------------------- Home Automation (21)
+      {"Amazon", "Smart Plug", C::kHomeAutomation, P::kAlexa},
+      {"Aqara", "Hub M2", C::kHomeAutomation, P::kHomeKit},
+      {"Google", "Nest Thermostat", C::kHomeAutomation, P::kGoogleHome},
+      {"IKEA", "Tradfri Gateway", C::kHomeAutomation, P::kNone},
+      {"MagicHome", "LED Strip", C::kHomeAutomation, P::kNone},
+      {"Meross", "Smart Plug", C::kHomeAutomation, P::kNone},
+      {"Meross", "Garage Opener", C::kHomeAutomation, P::kNone},
+      {"Meross", "Smart Bulb", C::kHomeAutomation, P::kNone},
+      {"Philips", "Hue Hub", C::kHomeAutomation, P::kHomeKit},
+      {"Ring", "Chime", C::kHomeAutomation, P::kAlexa},
+      {"Sengled", "Smart Hub", C::kHomeAutomation, P::kNone},
+      {"SmartThings", "Hub v3", C::kHomeAutomation, P::kSmartThings},
+      {"SwitchBot", "Hub Mini", C::kHomeAutomation, P::kNone},
+      {"TP-Link", "Kasa Plug HS110", C::kHomeAutomation, P::kTpLink},
+      {"TP-Link", "Kasa Bulb KL130", C::kHomeAutomation, P::kTpLink},
+      {"Tuya", "Smart Plug", C::kHomeAutomation, P::kTuya},
+      {"Tuya", "Jinvoo Bulb", C::kHomeAutomation, P::kTuya},
+      {"Tuya", "Light Strip", C::kHomeAutomation, P::kTuya},
+      {"WeMo", "Smart Plug", C::kHomeAutomation, P::kNone},
+      {"Wiz", "Smart Bulb", C::kHomeAutomation, P::kNone},
+      {"Yeelight", "Smart Bulb", C::kHomeAutomation, P::kNone},
+      // -------------------------------------------------- Media/TV (7)
+      {"Amazon", "Fire TV", C::kMediaTv, P::kAlexa},
+      {"Apple", "Apple TV", C::kMediaTv, P::kHomeKit},
+      {"Google", "Chromecast Google TV", C::kMediaTv, P::kGoogleHome},
+      {"LG", "WebOS TV", C::kMediaTv, P::kNone},
+      {"Roku", "TV", C::kMediaTv, P::kNone},
+      {"Samsung", "Smart TV", C::kMediaTv, P::kSmartThings},
+      {"TiVo", "Stream 4K", C::kMediaTv, P::kGoogleHome},
+      // ----------------------------------------------- Surveillance (19)
+      {"Amcrest", "IP2M Camera", C::kSurveillance, P::kNone},
+      {"Arlo", "Pro 3 Camera", C::kSurveillance, P::kNone},
+      {"Arlo", "Base Station", C::kSurveillance, P::kNone},
+      {"Blink", "Mini Camera", C::kSurveillance, P::kAlexa},
+      {"D-Link", "DCS Camera", C::kSurveillance, P::kNone},
+      {"Google", "Nest Camera", C::kSurveillance, P::kGoogleHome},
+      {"Google", "Nest Doorbell", C::kSurveillance, P::kGoogleHome},
+      {"ICSee", "Camera", C::kSurveillance, P::kNone},
+      {"Lefun", "Camera", C::kSurveillance, P::kNone},
+      {"Microseven", "Camera", C::kSurveillance, P::kNone},
+      {"Ring", "Doorbell Pro", C::kSurveillance, P::kAlexa},
+      {"Ring", "Indoor Camera", C::kSurveillance, P::kAlexa},
+      {"Ring", "Spotlight Camera", C::kSurveillance, P::kAlexa},
+      {"Ring", "Stick-Up Camera", C::kSurveillance, P::kAlexa},
+      {"Tuya", "Camera", C::kSurveillance, P::kTuya},
+      {"Ubell", "Doorbell", C::kSurveillance, P::kNone},
+      {"Wansview", "Camera", C::kSurveillance, P::kNone},
+      {"Wyze", "Cam v3", C::kSurveillance, P::kNone},
+      {"Yi", "Home Camera", C::kSurveillance, P::kNone},
+      // ------------------------------------------- Voice Assistant (28)
+      {"Amazon", "Echo Spot", C::kVoiceAssistant, P::kAlexa},
+      {"Amazon", "Echo Show 5", C::kVoiceAssistant, P::kAlexa},
+      {"Amazon", "Echo Dot 2", C::kVoiceAssistant, P::kAlexa},
+      {"Amazon", "Echo Dot 3", C::kVoiceAssistant, P::kAlexa},
+      {"Amazon", "Echo Dot 4", C::kVoiceAssistant, P::kAlexa},
+      {"Amazon", "Echo Plus", C::kVoiceAssistant, P::kAlexa},
+      {"Amazon", "Echo Studio", C::kVoiceAssistant, P::kAlexa},
+      {"Amazon", "Echo Flex", C::kVoiceAssistant, P::kAlexa},
+      {"Amazon", "Echo Input", C::kVoiceAssistant, P::kAlexa},
+      {"Amazon", "Echo Show 8", C::kVoiceAssistant, P::kAlexa},
+      {"Amazon", "Echo Show 10", C::kVoiceAssistant, P::kAlexa},
+      {"Amazon", "Echo 2nd Gen", C::kVoiceAssistant, P::kAlexa},
+      {"Amazon", "Echo 3rd Gen", C::kVoiceAssistant, P::kAlexa},
+      {"Amazon", "Echo 4th Gen", C::kVoiceAssistant, P::kAlexa},
+      {"Amazon", "Echo Auto", C::kVoiceAssistant, P::kAlexa},
+      {"Amazon", "Echo Sub", C::kVoiceAssistant, P::kAlexa},
+      {"Amazon", "Echo Link", C::kVoiceAssistant, P::kAlexa},
+      {"Apple", "HomePod Mini A", C::kVoiceAssistant, P::kHomeKit},
+      {"Apple", "HomePod Mini B", C::kVoiceAssistant, P::kHomeKit},
+      {"Apple", "HomePod", C::kVoiceAssistant, P::kHomeKit},
+      {"Meta", "Portal", C::kVoiceAssistant, P::kNone},
+      {"Google", "Home Mini", C::kVoiceAssistant, P::kGoogleHome},
+      {"Google", "Nest Hub", C::kVoiceAssistant, P::kGoogleHome},
+      {"Google", "Nest Hub Max", C::kVoiceAssistant, P::kGoogleHome},
+      {"Google", "Nest Mini", C::kVoiceAssistant, P::kGoogleHome},
+      {"Google", "Home", C::kVoiceAssistant, P::kGoogleHome},
+      {"Google", "Nest Audio", C::kVoiceAssistant, P::kGoogleHome},
+      {"Google", "Nest Wifi Point", C::kVoiceAssistant, P::kGoogleHome},
+  };
+  return catalog;
+}
+
+std::size_t unique_model_count() {
+  std::set<std::string> models;
+  for (const auto& spec : moniotr_catalog())
+    models.insert(spec.vendor + " " + spec.model);
+  return models.size();
+}
+
+}  // namespace roomnet

@@ -1,0 +1,58 @@
+// The MonIoTr Lab device inventory (paper Table 3): 93 IP-based consumer IoT
+// devices across 7 categories, with their platform/cluster membership used
+// to reproduce the vendor communication clusters of Figures 1 and 4.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace roomnet {
+
+enum class DeviceCategory {
+  kGameConsole,
+  kGenericIot,
+  kHomeAppliance,
+  kHomeAutomation,
+  kMediaTv,
+  kSurveillance,
+  kVoiceAssistant,
+};
+
+std::string to_string(DeviceCategory category);
+
+/// Local-interop platform the device participates in (drives the TLS/UDP
+/// cluster traffic of Figure 4 and the discovery relationships of §4.1).
+enum class Platform {
+  kNone,
+  kAlexa,       // Amazon Echo ecosystem: TLSv1.2, self-signed 3-month certs
+  kGoogleHome,  // Google/Nest: TLSv1.2 private PKI, port 8009
+  kHomeKit,     // Apple: TLSv1.3, encrypted certificates
+  kTpLink,      // TPLINK-SHP speakers
+  kTuya,        // TuyaLP beacons
+  kSmartThings,
+};
+
+struct DeviceSpec {
+  std::string vendor;
+  std::string model;
+  DeviceCategory category;
+  Platform platform = Platform::kNone;
+};
+
+/// The 93-device catalog. Vendor counts match Table 3 exactly:
+/// Game Console: Nintendo(1); Generic IoT: Keyco(1) Oxylink(1) Renpho(1)
+/// Tuya(1) Withings(3); Home Appliance: Anova(1) Behmor(1) Blueair(1) GE(1)
+/// LG(1) Samsung(3) Smarter(1) Xiaomi(1); Home Automation: Amazon(1)
+/// Aqara(1) Google(1) IKEA(1) MagicHome(1) Meross(3) Philips(1) Ring(1)
+/// Sengled(1) SmartThings(1) SwitchBot(1) TP-Link(2) Tuya(3) WeMo(1) Wiz(1)
+/// Yeelight(1); Media/TV: Amazon(1) Apple(1) Google(1) LG(1) Roku(1)
+/// Samsung(1) Tivostream(1); Surveillance: Amcrest(1) Arlo(2) Blink(1)
+/// D-Link(1) Google(2) ICSee(1) Lefun(1) Microseven(1) Ring(4) Tuya(1)
+/// Ubell(1) Wansview(1) Wyze(1) Yi(1); Voice Assistant: Amazon(17)
+/// Apple(3) Meta(1) Google(7).
+const std::vector<DeviceSpec>& moniotr_catalog();
+
+/// Distinct device models in the catalog (paper: 78 unique models).
+std::size_t unique_model_count();
+
+}  // namespace roomnet

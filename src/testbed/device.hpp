@@ -1,0 +1,83 @@
+// TestbedDevice: one simulated IoT device — a Host configured from a
+// DeviceSpec + DeviceBehavior, with all periodic behaviors scheduled on the
+// event loop once its DHCP lease arrives.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "netcore/rng.hpp"
+#include "netcore/uuid.hpp"
+#include "sim/host.hpp"
+#include "sim/mdns.hpp"
+#include "sim/ssdp.hpp"
+#include "testbed/catalog.hpp"
+#include "testbed/profiles.hpp"
+
+namespace roomnet {
+
+class TestbedDevice {
+ public:
+  TestbedDevice(Switch& net, DeviceSpec spec, DeviceBehavior behavior,
+                MacAddress mac, Rng& parent_rng);
+
+  /// Kicks off DHCP; periodic behaviors start when the lease arrives.
+  void start();
+
+  [[nodiscard]] Host& host() { return host_; }
+  [[nodiscard]] const Host& host() const { return host_; }
+  [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
+  [[nodiscard]] const DeviceBehavior& behavior() const { return behavior_; }
+  [[nodiscard]] const Uuid& uuid() const { return uuid_; }
+  [[nodiscard]] MacAddress mac() const { return host_.mac(); }
+  [[nodiscard]] bool started() const { return started_; }
+
+  /// The hostname this device sends in DHCP (policy-expanded; empty when
+  /// the policy is kNone; randomized policies vary per call).
+  [[nodiscard]] std::string dhcp_hostname();
+
+  /// Coordinator of this device's platform cluster (for TLS/RTP dialing).
+  void set_cluster_coordinator(TestbedDevice* coordinator) {
+    coordinator_ = coordinator;
+  }
+  [[nodiscard]] TestbedDevice* cluster_coordinator() const { return coordinator_; }
+
+  /// Expands {MAC}/{MACPLAIN}/{MACTAIL}/{UUID}/{NAME}/{MODEL}/{SERIAL}
+  /// placeholders against this device's identity.
+  [[nodiscard]] std::string expand(const std::string& pattern) const;
+
+ private:
+  void on_ip_acquired();
+  void setup_mdns();
+  void setup_ssdp();
+  void setup_services();
+  void schedule_periodic_behaviors();
+  void dial_cluster_tls();
+  void poll_peer_http();
+  void send_cluster_udp();
+  void send_matter_traffic();
+  void send_rtp_beacon();
+  void send_unknown_beacon();
+  void send_lifx_beacon();
+  void send_tplink_scan();
+  void send_tuya_beacon();
+  void send_coap_query();
+  void arp_probe_known_peers();
+
+  DeviceSpec spec_;
+  DeviceBehavior behavior_;
+  Rng rng_;
+  Uuid uuid_;
+  Host host_;
+  std::optional<MdnsEndpoint> mdns_;
+  std::optional<SsdpEndpoint> ssdp_;
+  TestbedDevice* coordinator_ = nullptr;
+  bool started_ = false;
+  std::size_t ssdp_server_rotation_index_ = 0;
+  std::size_t mdns_query_counter_ = 0;
+  std::uint16_t rtp_sequence_ = 0;
+};
+
+}  // namespace roomnet

@@ -1,0 +1,585 @@
+#include "testbed/profiles.hpp"
+
+namespace roomnet {
+
+namespace {
+
+// Sixteen distinct DHCP client versions (§5.1: "16 unique DHCP client
+// versions from 40% of devices"), including the old/custom ones the paper
+// flags on Amazon and Google products.
+const char* kDhcpClients[] = {
+    "udhcp 0.9.9-pre",      "udhcp 1.14.3-Amazon", "udhcp 1.19.5",
+    "udhcp 1.24.2",         "dhcpcd-5.5.6",        "dhcpcd-6.8.2",
+    "dhcpcd 8.1.4",         "Google-Dhcp-Client",  "busybox-dhcp",
+    "Linux 3.10 dhcp",      "tuya-dhcp-1.0",       "RTOS-DHCP",
+    "esp-idf-dhcp",         "lwIP-2.0.3",          "ti-netcfg",
+    "AppleDHCP-1",
+};
+
+DeviceBehavior amazon_echo(const DeviceSpec& spec, std::size_t index) {
+  (void)spec;
+  DeviceBehavior b;
+  b.hostname_policy = HostnamePolicy::kModel;
+  b.dhcp_vendor_class = "udhcp 1.14.3-Amazon";  // old custom client (§5.1)
+  // Unexpected deprecated requests: SMTP server (69), Name Server (5),
+  // Root Path (17).
+  b.dhcp_params = {1, 3, 6, 12, 15, 28, 42, 5, 17, 69};
+  b.ipv6 = true;  // Matter support observed from Echo speakers (§4.1)
+  b.icmpv6_interval_s = 900;
+  b.ping_gateway_interval_s = 600;
+  b.arp_daily_scan = true;
+  b.arp_unicast_probes = true;
+  b.responds_to_broadcast_arp = true;
+  b.mdns_query_interval_s = 20 + static_cast<double>(index % 5) * 20;  // 20-100 s
+  b.mdns_query_types = {"_amzn-wplay._tcp.local", "_matter._tcp.local",
+                        "_spotify-connect._tcp.local"};
+  // Matter presence is advertised via the periodic commissionable broadcast
+  // (send_matter_traffic), not the query responder: Matter nodes announce
+  // unsolicited rather than answering arbitrary PTR queries, which keeps
+  // Table 4's per-discoverer responder counts at the paper's scale.
+  b.mdns_services = {{.service_type = "_amzn-wplay._tcp.local",
+                      .instance_pattern = "{MODEL}-{MACTAIL}",
+                      .port = 55442,
+                      .txt_patterns = {"a={UUID}", "t=echo"}}};
+  b.mdns_hostname_policy = HostnamePolicy::kModel;
+  b.ssdp_msearch_interval_s = 9000;  // 2.5 h (§5.1: every 2-3 hours)
+  b.ssdp_search_targets = {"ssdp:all", "upnp:rootdevice"};  // generic (§5.1)
+  b.tls_server = TlsServerSpec{.port = 55443,
+                               .version = TlsVersion::kTls12,
+                               .cert = CertPolicy::kSelfSignedLocalIp,
+                               .key_bits = 2048,
+                               .validity_days = 90};
+  b.cluster_tls_interval_s = 1200;
+  b.http_servers = {{.port = 55442, .server_banner = ""}};  // audio cache
+  b.misc_tcp_open = {4070};                                 // Spotify control
+  b.lifx_beacon_interval_s = 7200;  // UDP 56700 every 2 h (§5.1)
+  b.unknown_beacon_port = 56700;
+  // The Figure 4e "unidentified UDP" Echo cluster protocol: constant
+  // coordinator-directed chatter no classifier can name.
+  b.cluster_udp_interval_s = 45;
+  b.cluster_udp_port = 33434;
+  b.matter_interval_s = 600;  // IPv6 Matter session traffic (§4.1)
+  // Multi-room audio RTP on UDP 55444 for a subset of speakers.
+  if (index % 4 == 0) {
+    b.rtp_interval_s = 3600;
+    b.rtp_port = 55444;
+  }
+  // Most Echo speakers scan for TP-Link devices (§5.1 TPLINK-SHP).
+  if (index % 8 != 7) b.tplink_scan_interval_s = 7200;
+  return b;
+}
+
+DeviceBehavior google_device(const DeviceSpec& spec, std::size_t index) {
+  DeviceBehavior b;
+  const bool speaker_or_hub = spec.category == DeviceCategory::kVoiceAssistant;
+  b.hostname_policy = speaker_or_hub ? HostnamePolicy::kDisplayName
+                                     : HostnamePolicy::kModel;
+  b.display_name = "Jane's " + spec.model;
+  b.dhcp_vendor_class = "Google-Dhcp-Client";
+  b.dhcp_params = {1, 3, 6, 12, 15, 28, 119};
+  b.ipv6 = true;
+  b.icmpv6_interval_s = spec.model == "Nest Hub" ? 60 : 600;  // 2,597 addrs
+  b.ping_gateway_interval_s = 900;
+  b.mdns_query_interval_s = 20 + static_cast<double>(index % 4) * 25;
+  b.mdns_query_types = {"_googlecast._tcp.local", "_matter._tcp.local"};
+  b.mdns_respond_unicast = true;
+  b.mdns_services = {{.service_type = "_googlecast._tcp.local",
+                      .instance_pattern = "{MODEL}-{UUID}",
+                      .port = 8009,
+                      .txt_patterns = {"id={UUID}", "md={MODEL}",
+                                       "fn={NAME}"}}};
+  b.mdns_hostname_policy = HostnamePolicy::kDisplayName;
+  b.ssdp_msearch_interval_s = 20;  // §5.1: Google sends SSDP every 20 s
+  b.ssdp_search_targets = {"urn:dial-multiscreen-org:service:dial:1"};
+  // Only the Chromecast-capable screens answer multicast searches (§5.1:
+  // just 9 devices respond — 4 smart TVs and the two Nest hubs among them).
+  const bool chromecast_screen =
+      spec.model.find("Nest Hub") != std::string::npos ||
+      spec.category == DeviceCategory::kMediaTv;
+  b.ssdp_respond = chromecast_screen;
+  b.ssdp_description = chromecast_screen;
+  b.ssdp_server = "Linux/3.8.13, UPnP/1.0, Portable SDK for UPnP devices/1.6.18";
+  // Port 8009 with the weak-key finding (Nessus high severity: 64-122 bits).
+  b.tls_server = TlsServerSpec{
+      .port = 8009,
+      .version = TlsVersion::kTls12,
+      .cert = CertPolicy::kPrivatePki,
+      .key_bits = static_cast<std::uint16_t>(64 + (index * 7) % 59),
+      .validity_days = 20 * 365};
+  b.cluster_tls_interval_s = 1500;
+  b.http_servers = {{.port = 8008, .server_banner = "Chromecast"}};
+  b.http_client_user_agent =
+      "Chromecast OS/1.56.281627 " + spec.model + " CrKey/1.56";
+  // Control/sync RTP on 10000-10010 (Appendix C.2 misclassification source).
+  b.rtp_interval_s = 1800;
+  b.rtp_port = static_cast<std::uint16_t>(10000 + index % 11);
+  if (index % 3 == 0) b.tplink_scan_interval_s = 10800;
+  b.http_poll_interval_s = 600;  // Cast peers poll each other's /setup
+  return b;
+}
+
+DeviceBehavior apple_device(const DeviceSpec& spec, std::size_t index) {
+  DeviceBehavior b;
+  b.hostname_policy = HostnamePolicy::kDisplayName;
+  b.display_name = "Jane Doe's Kitchen " + spec.model;
+  b.dhcp_vendor_class = "AppleDHCP-1";
+  b.dhcp_params = {1, 3, 6, 12, 15, 119};
+  b.ipv6 = true;
+  b.icmpv6_interval_s = 600;
+  b.ping_gateway_interval_s = 1200;
+  b.mdns_query_interval_s = 20 + static_cast<double>(index % 5) * 16;
+  b.mdns_query_types = {"_airplay._tcp.local", "_companion-link._tcp.local",
+                        "_sleep-proxy._udp.local"};
+  b.mdns_respond_unicast = true;
+  b.mdns_services = {{.service_type = "_airplay._tcp.local",
+                      .instance_pattern = "{NAME}",
+                      .port = 7000,
+                      .txt_patterns = {"deviceid={MAC}", "model={MODEL}"}},
+                     {.service_type = "_companion-link._tcp.local",
+                      .instance_pattern = "{NAME}",
+                      .port = 49152,
+                      .txt_patterns = {"rpBA={MAC}"}}};
+  b.mdns_hostname_policy = HostnamePolicy::kDisplayName;
+  // Apple-to-Apple TLS 1.3 with encrypted certificates (§5.2).
+  b.tls_server = TlsServerSpec{.port = 49152,
+                               .version = TlsVersion::kTls13,
+                               .cert = CertPolicy::kEncrypted,
+                               .key_bits = 2048,
+                               .validity_days = 365};
+  b.cluster_tls_interval_s = 1800;
+  if (spec.model.find("HomePod Mini") != std::string::npos) {
+    // DNS server with cache-snooping exposure; SheerDNS 1.0.0 (§5.2 DNS).
+    b.dns_server = true;
+    b.dns_banner = "SheerDNS 1.0.0";
+    // CoAP traffic whose payloads the paper could not decode.
+    b.coap_query_interval_s = 3600;
+  }
+  (void)index;
+  return b;
+}
+
+DeviceBehavior tplink_device(const DeviceSpec& spec, std::size_t index) {
+  DeviceBehavior b;
+  b.hostname_policy = HostnamePolicy::kVendorPartialMac;
+  b.dhcp_vendor_class = "udhcp 1.19.5";
+  b.tplink_server = true;
+  b.latitude = 42.337681;   // Table 5's plaintext home geolocation
+  b.longitude = -71.087036;
+  b.ping_gateway_interval_s = 1800;
+  b.responds_to_broadcast_arp = true;
+  (void)spec;
+  (void)index;
+  return b;
+}
+
+DeviceBehavior tuya_device(const DeviceSpec& spec, std::size_t index) {
+  DeviceBehavior b;
+  b.hostname_policy = HostnamePolicy::kVendorPartialMac;
+  b.dhcp_vendor_class = "tuya-dhcp-1.0";
+  b.tuya_beacon = true;
+  b.tuya_interval_s = 30 + static_cast<double>(index % 3) * 15;
+  b.responds_to_broadcast_arp = false;  // Tuya ignores strangers (§5.1)
+  b.eapol_interval_s = 7200;
+  (void)spec;
+  return b;
+}
+
+/// UPnP/1.0 SERVER strings (the nine deprecated-UPnP devices of §5.1).
+std::string upnp10_server(const std::string& os) {
+  return os + ", UPnP/1.0, Private UPnP SDK";
+}
+
+/// Vendor "debug/auxiliary" TCP services on semi-random high ports — the
+/// long tail behind §4.2's 178 unique open TCP ports. Deterministic per
+/// device index; confined to ranges the default scan sweep covers.
+void add_debug_ports(DeviceBehavior& b, std::size_t index) {
+  b.misc_tcp_open.push_back(
+      static_cast<std::uint16_t>(8010 + (index * 7) % 90));
+  if (index % 3 != 0)
+    b.misc_tcp_open.push_back(
+        static_cast<std::uint16_t>(30000 + (index * 13) % 100));
+  if (index % 4 == 0)
+    b.misc_tcp_open.push_back(
+        static_cast<std::uint16_t>(49300 + (index * 11) % 100));
+  // A UDP auxiliary service too (silent to generic probes: nmap sees it as
+  // open|filtered — the long tail of §4.2's 115 unique UDP ports).
+  b.misc_udp_open.push_back(
+      static_cast<std::uint16_t>(300 + (index * 17) % 600));
+}
+
+DeviceBehavior behavior_for_unadorned(const DeviceSpec& spec,
+                                      std::size_t index) {
+  // -- platform-wide profiles ------------------------------------------
+  if (spec.vendor == "Amazon" && spec.model != "Fire TV")
+    return amazon_echo(spec, index);
+  if (spec.vendor == "Google") return google_device(spec, index);
+  if (spec.vendor == "Apple") return apple_device(spec, index);
+  if (spec.vendor == "TP-Link") return tplink_device(spec, index);
+  if (spec.vendor == "Tuya") return tuya_device(spec, index);
+
+  DeviceBehavior b;
+
+  if (spec.vendor == "Amazon") {  // Fire TV
+    DeviceBehavior fire = amazon_echo(spec, index);
+    fire.arp_daily_scan = false;
+    fire.lifx_beacon_interval_s = 0;
+    fire.ssdp_respond = true;
+    fire.ssdp_description = true;
+    fire.upnp_serial_is_mac = true;  // exposes own MAC to casting apps (§6.1)
+    fire.ssdp_notify_interval_s = 1800;
+    fire.ssdp_notify_bad_prefix = true;  // /16 LOCATION misconfiguration
+    fire.ssdp_server = "Linux/4.9.113 UPnP/1.0 Cling/2.0";
+    return fire;
+  }
+
+  if (spec.vendor == "Nintendo") {
+    b.hostname_policy = HostnamePolicy::kNone;
+    b.ipv6 = true;
+    b.icmpv6_interval_s = 3600;
+    b.eapol_interval_s = 300;  // chatty 802.1X — the AmazonAWS bait (C.2)
+    b.llc_xid = true;
+    b.responds_to_broadcast_arp = false;
+    return b;
+  }
+
+  if (spec.vendor == "Philips") {
+    b.hostname_policy = HostnamePolicy::kModel;
+    b.dhcp_vendor_class = "dhcpcd-5.5.6";
+    b.ipv6 = true;
+    b.icmpv6_interval_s = 2400;
+    b.eapol_interval_s = 0;  // wired hub
+    b.mdns_services = {{.service_type = "_hue._tcp.local",
+                        .instance_pattern = "Philips Hue - {MACTAIL}",
+                        .port = 443,
+                        .txt_patterns = {"bridgeid={MACPLAIN}",
+                                         "modelid=BSB002"}}};
+    b.mdns_respond_unicast = true;
+    b.ssdp_respond = true;
+    b.ssdp_description = true;
+    b.ssdp_server = upnp10_server("Linux");  // deprecated UPnP 1.0
+    b.upnp_serial_is_mac = true;
+    b.tls_server = TlsServerSpec{.port = 443,
+                                 .version = TlsVersion::kTls12,
+                                 .cert = CertPolicy::kSelfSignedLong,
+                                 .key_bits = 2048,
+                                 .validity_days = 20 * 365};
+    b.http_servers = {{.port = 80, .server_banner = "nginx"}};
+    b.ping_gateway_interval_s = 600;
+    return b;
+  }
+
+  if (spec.vendor == "Ring") {
+    b.hostname_policy = spec.model == "Chime" ? HostnamePolicy::kNameWithMac
+                                              : HostnamePolicy::kModel;
+    b.dhcp_vendor_class = "udhcp 1.24.2";
+    b.ping_gateway_interval_s = 900;
+    b.mdns_services = {{.service_type = "_ring._tcp.local",
+                        .instance_pattern = "{MODEL}",
+                        .port = 443,
+                        .txt_patterns = {}}};
+    b.http_servers = {{.port = 80, .server_banner = "nginx-ring"}};
+    b.responds_to_broadcast_arp = index % 2 == 0;
+    b.unknown_beacon_interval_s = 3600;
+    b.unknown_beacon_port = 9998;
+    return b;
+  }
+
+  if (spec.vendor == "Roku") {
+    b.hostname_policy = HostnamePolicy::kModel;
+    b.ipv6 = true;
+    b.icmpv6_interval_s = 1800;
+    b.mdns_services = {{.service_type = "_roku._tcp.local",
+                        // The Table 2 finding: a first name plus UUID whose
+                        // node bytes are the MAC address.
+                        .instance_pattern = "Roku 3 - Jane's Room",
+                        .port = 8060,
+                        .txt_patterns = {"id={UUID}"}}};
+    b.ssdp_respond = true;
+    b.ssdp_description = true;
+    b.ssdp_server = upnp10_server("Roku/9.4");
+    b.upnp_serial_is_mac = true;
+    // Roku sends IGD-related SSDP requests (§5.1) — also the deep
+    // classifier's CiscoVPN bait.
+    b.ssdp_msearch_interval_s = 1800;
+    b.ssdp_search_targets = {
+        "urn:schemas-upnp-org:device:InternetGatewayDevice:1"};
+    b.http_servers = {{.port = 8060, .server_banner = "Roku/9.4 UPnP/1.0"}};
+    b.ping_gateway_interval_s = 1200;
+    return b;
+  }
+
+  if (spec.vendor == "LG") {
+    b.hostname_policy = HostnamePolicy::kModel;
+    b.eapol_interval_s = 0;  // wired
+    b.ipv6 = true;
+    b.icmpv6_interval_s = 1800;
+    b.ping_gateway_interval_s = 1500;
+    if (spec.category == DeviceCategory::kMediaTv) {
+      b.ssdp_respond = true;
+      b.ssdp_description = true;
+      b.ssdp_notify_interval_s = 900;
+      // Three different firmware strings in rotation (§5.1 SSDP).
+      b.ssdp_server_rotation = {"WebOS TV/Version 0.9", "WebOS/1.5",
+                                "WebOS/4.1.0"};
+      b.ssdp_server = b.ssdp_server_rotation.front();
+      b.http_servers = {{.port = 1830, .server_banner = "WebOS"},
+                        {.port = 80, .server_banner = "WebOS"}};
+      b.http_client_user_agent = "LG WebOS/4.1.0 UPnP/1.0";
+      b.mdns_services = {{.service_type = "_lg-smart-device._tcp.local",
+                          .instance_pattern = "{MODEL}",
+                          .port = 1830,
+                          .txt_patterns = {}}};
+    } else {
+      b.unknown_beacon_interval_s = 7200;
+      b.unknown_beacon_port = 9741;
+    }
+    return b;
+  }
+
+  if (spec.vendor == "Samsung") {
+    b.hostname_policy = HostnamePolicy::kModel;
+    b.dhcp_vendor_class = "dhcpcd 8.1.4";
+    b.eapol_interval_s = 0;
+    b.ipv6 = true;
+    b.icmpv6_interval_s = 1800;
+    b.ping_gateway_interval_s = 1200;
+    if (spec.model == "Fridge") {
+      // IoTivity resource discovery over CoAP (§5.1).
+      b.coap_query_interval_s = 1800;
+    }
+    if (spec.category == DeviceCategory::kMediaTv) {
+      b.ssdp_respond = true;
+      b.ssdp_description = true;
+      b.ssdp_server = upnp10_server("SHP, Samsung UPnP SDK");
+      b.mdns_services = {{.service_type = "_samsungmsf._tcp.local",
+                          .instance_pattern = "Samsung {MODEL}",
+                          .port = 8001,
+                          .txt_patterns = {"id={UUID}"}}};
+      b.http_servers = {{.port = 8001, .server_banner = "Samsung TV"},
+                        {.port = 80, .server_banner = "Samsung TV"}};
+    } else {
+      b.unknown_beacon_interval_s = 3600;
+      b.unknown_beacon_port = 15600;
+    }
+    b.cluster_tls_interval_s = 0;
+    return b;
+  }
+
+  if (spec.vendor == "SmartThings") {
+    b.hostname_policy = HostnamePolicy::kModel;
+    b.eapol_interval_s = 0;  // wired hub
+    b.ipv6 = true;
+    b.icmpv6_interval_s = 2400;
+    b.tls_server = TlsServerSpec{.port = 8443,
+                                 .version = TlsVersion::kTls12,
+                                 .cert = CertPolicy::kSelfSignedLong,
+                                 .key_bits = 2048,
+                                 .validity_days = 28 * 365};
+    b.ssdp_msearch_interval_s = 3600;
+    b.ssdp_search_targets = {"upnp:rootdevice"};
+    b.ping_gateway_interval_s = 600;
+    return b;
+  }
+
+  if (spec.vendor == "D-Link") {
+    b.hostname_policy = HostnamePolicy::kModel;
+    b.tls_server = TlsServerSpec{.port = 443,
+                                 .version = TlsVersion::kTls12,
+                                 .cert = CertPolicy::kSelfSignedLong,
+                                 .key_bits = 2048,
+                                 .validity_days = 25 * 365};
+    b.http_servers = {{.port = 80, .server_banner = "lighttpd/1.4.35"}};
+    b.ping_gateway_interval_s = 1800;
+    return b;
+  }
+
+  if (spec.vendor == "WeMo") {
+    b.hostname_policy = HostnamePolicy::kModel;
+    b.dhcp_vendor_class = "lwIP-2.0.3";
+    b.ipv6 = true;
+    b.ping_gateway_interval_s = 1800;
+    b.ssdp_respond = true;
+    b.ssdp_description = true;
+    b.ssdp_server = upnp10_server("Unspecified, WeMo");
+    b.ssdp_notify_interval_s = 1200;
+    b.dns_server = true;  // cache-snooping-prone DNS (§5.2)
+    b.dns_banner = "dnsmasq-2.40";
+    b.http_servers = {{.port = 49153, .server_banner = "WeMo HTTP"},
+                      {.port = 80, .server_banner = "WeMo HTTP"}};
+    return b;
+  }
+
+  if (spec.vendor == "Amcrest") {
+    b.hostname_policy = HostnamePolicy::kModel;
+    b.eapol_interval_s = 0;  // wired camera
+    b.use_dhcp = false;      // statically configured NVR-style setup
+    b.ssdp_respond = true;
+    b.ssdp_description = true;
+    b.ssdp_server = upnp10_server("Linux");
+    b.upnp_serial_is_mac = true;  // Table 5's serialNumber = MAC
+    b.http_servers = {{.port = 80, .server_banner = "Amcrest/2.420"}};
+    b.misc_tcp_open = {554};  // RTSP
+    return b;
+  }
+
+  if (spec.vendor == "Lefun") {
+    b.hostname_policy = HostnamePolicy::kModel;
+    b.http_servers = {{.port = 80,
+                       .server_banner = "GoAhead-Webs",
+                       .expose_backup = true}};  // §5.2 backup-file exposure
+    b.misc_udp_open = {5000};
+    b.unknown_beacon_interval_s = 1800;
+    b.unknown_beacon_port = 5000;
+    return b;
+  }
+
+  if (spec.vendor == "Microseven") {
+    b.hostname_policy = HostnamePolicy::kModel;
+    b.http_servers = {{.port = 80,
+                       .server_banner = "Boa/0.94.13",
+                       .jquery_12 = true,        // XSS-prone jQuery 1.2
+                       .onvif_snapshot = true,   // unauthenticated snapshot
+                       .list_accounts = true}};  // account enumeration
+    b.misc_tcp_open = {554, 8080};
+    return b;
+  }
+
+  if (spec.vendor == "ICSee" || spec.vendor == "Ubell") {
+    b.hostname_policy = HostnamePolicy::kNone;
+    b.telnet_server = true;  // §4.2: telnet among open services
+    b.http_servers = {{.port = 80, .server_banner = "JAWS/1.0"}};
+    b.unknown_beacon_interval_s = 900;
+    b.unknown_beacon_port = spec.vendor == "ICSee" ? 34567 : 8600;
+    b.responds_to_broadcast_arp = false;
+    return b;
+  }
+
+  if (spec.vendor == "Wansview" || spec.vendor == "Yi" ||
+      spec.vendor == "Wyze") {
+    b.hostname_policy = HostnamePolicy::kModel;
+    b.unknown_beacon_interval_s = 1200;
+    b.unknown_beacon_port = 10600;
+    b.unknown_beacon_d0 = spec.vendor == "Wyze";  // tshark TPLINK bait
+    b.responds_to_broadcast_arp = index % 2 == 0;
+    b.ping_gateway_interval_s = 2400;
+    b.http_servers = {{.port = 80,
+                       .server_banner = spec.vendor == "Wansview"
+                                            ? "thttpd/2.25b"
+                                            : "GoAhead-Webs"}};
+    return b;
+  }
+
+  if (spec.vendor == "Arlo" || spec.vendor == "Blink") {
+    b.hostname_policy = HostnamePolicy::kModel;
+    b.eapol_interval_s = spec.model == "Base Station" ? 0 : 3600;
+    b.ping_gateway_interval_s = 1800;
+    b.http_servers = {{.port = 80, .server_banner = "arlo-httpd"}};
+    if (spec.model == "Base Station") b.use_dhcp = false;  // static infra
+    b.responds_to_broadcast_arp = false;  // battery cameras stay quiet
+    b.unknown_beacon_interval_s = 7200;
+    b.unknown_beacon_port = 3478;
+    return b;
+  }
+
+  if (spec.vendor == "GE" ) {
+    // §5.1: GE Microwave obfuscates hostnames with random bytes.
+    b.hostname_policy = HostnamePolicy::kRandomized;
+    b.eapol_interval_s = 0;
+    b.unknown_beacon_interval_s = 7200;
+    b.unknown_beacon_port = 4500;
+    return b;
+  }
+
+  if (spec.vendor == "TiVo") {
+    DeviceBehavior tivo = google_device(spec, index);  // Android TV based
+    tivo.hostname_policy = HostnamePolicy::kRandomized;  // obfuscated names
+    tivo.display_name.clear();
+    tivo.eapol_interval_s = 0;
+    tivo.ssdp_respond = false;
+    return tivo;
+  }
+
+  if (spec.vendor == "Meta") {
+    b.hostname_policy = HostnamePolicy::kModel;
+    b.ipv6 = true;
+    b.icmpv6_interval_s = 1200;
+    b.mdns_query_interval_s = 120;
+    b.mdns_query_types = {"_airplay._tcp.local"};
+    b.ping_gateway_interval_s = 900;
+    return b;
+  }
+
+  if (spec.vendor == "Aqara") {
+    b.hostname_policy = HostnamePolicy::kVendorPartialMac;
+    b.mdns_services = {{.service_type = "_aqara._tcp.local",
+                        .instance_pattern = "{MODEL}-{MACTAIL}",
+                        .port = 443,
+                        .txt_patterns = {}}};
+    b.ipv6 = true;
+    return b;
+  }
+
+  if (spec.vendor == "Meross" || spec.vendor == "Sengled" ||
+      spec.vendor == "SwitchBot" || spec.vendor == "MagicHome" ||
+      spec.vendor == "Wiz" || spec.vendor == "Yeelight" ||
+      spec.vendor == "IKEA") {
+    b.hostname_policy = index % 3 == 0 ? HostnamePolicy::kNone
+                                       : HostnamePolicy::kVendorPartialMac;
+    b.dhcp_vendor_class = kDhcpClients[index % 16];
+    b.eapol_interval_s = spec.vendor == "IKEA" || spec.vendor == "Sengled"
+                             ? 0
+                             : 3600;
+    b.ping_gateway_interval_s = index % 2 == 0 ? 1800 : 0;
+    b.unknown_beacon_interval_s = 1800;
+    b.unknown_beacon_port = static_cast<std::uint16_t>(20000 + index * 13);
+    b.responds_to_broadcast_arp = index % 2 == 0;
+    if (spec.vendor == "SwitchBot" || spec.vendor == "IKEA") {
+      b.dns_server = true;  // hub-local resolvers (cache-snooping prone)
+      b.dns_banner = "dnsmasq-2.52";
+    }
+    if (spec.vendor == "IKEA" || spec.vendor == "Sengled")
+      b.use_dhcp = false;  // statically configured hubs
+    if (spec.vendor == "Yeelight") {
+      // Yeelight speaks an SSDP-like discovery on 1982; modeled as real
+      // SSDP responder here.
+      b.ssdp_respond = true;
+      b.ssdp_description = true;
+      b.ssdp_server = "POSIX UPnP/1.0 YGLC/1";
+    }
+    return b;
+  }
+
+  // Generic IoT / appliances / remaining: quiet DHCP+ARP devices, half of
+  // which never answer broadcast sweeps and some with no hostname at all.
+  if (spec.vendor == "Smarter" || spec.vendor == "Xiaomi" ||
+      spec.vendor == "Keyco")
+    b.use_dhcp = false;  // statically configured appliances
+  if (spec.vendor == "Withings") {
+    b.ipv6 = true;
+    b.icmpv6_interval_s = 3600;
+  }
+  b.hostname_policy =
+      index % 3 == 0 ? HostnamePolicy::kNone : HostnamePolicy::kModel;
+  if (index % 2 == 0) b.dhcp_vendor_class = kDhcpClients[index % 16];
+  b.eapol_interval_s = index % 4 == 0 ? 0 : 7200;
+  b.ping_gateway_interval_s = index % 3 == 0 ? 0 : 3600;
+  b.responds_to_broadcast_arp = index % 2 == 0;
+  b.arp_public_ip_probe = index % 11 == 0;  // the six public-IP probers
+  if (index % 2 == 1) {
+    b.unknown_beacon_interval_s = 3600;
+    b.unknown_beacon_port = static_cast<std::uint16_t>(30000 + index * 7);
+  }
+  return b;
+}
+
+}  // namespace
+
+DeviceBehavior behavior_for(const DeviceSpec& spec, std::size_t index) {
+  DeviceBehavior b = behavior_for_unadorned(spec, index);
+  // Roughly half the fleet exposes extra vendor services (the §4.2 port
+  // tail); quiet/battery devices do not.
+  if (b.responds_to_broadcast_arp && index % 2 == 0) add_debug_ports(b, index);
+  return b;
+}
+
+}  // namespace roomnet

@@ -1,0 +1,157 @@
+// Per-device behavior profiles. Each knob encodes an observation from the
+// paper (§4 protocol usage, §5 threats, Appendix D intervals); behavior_for()
+// maps a catalog entry to its profile. This file is the calibration core of
+// the reproduction — the percentages of Figure 2, the exposure matrix of
+// Table 1, and the vulnerability findings of §5.2 all emerge from these
+// settings.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "proto/tls.hpp"
+#include "testbed/catalog.hpp"
+
+namespace roomnet {
+
+/// How the device names itself in DHCP option 12 and mDNS hostnames (§5.1
+/// DHCP: Ring Chime uses name+MAC, Ring cameras the model, Tuya vendor +
+/// partial MAC, Google/Apple user display names, GE Microwave random bytes).
+enum class HostnamePolicy {
+  kNone,               // no hostname option
+  kModel,              // "RingCameraPro"
+  kNameWithMac,        // "Ring-Chime-02a008aabbcc"
+  kVendorPartialMac,   // "Tuya-bbcc"
+  kDisplayName,        // "Jane Doe's Kitchen HomePod"
+  kRandomized,         // fresh random bytes every request (GE, TiVo)
+};
+
+enum class CertPolicy {
+  kSelfSignedLocalIp,  // Echo: CN = local IP, 3-month validity
+  kPrivatePki,         // Google: internal root, 20-year leaf
+  kEncrypted,          // Apple TLS 1.3: certificate flight unreadable
+  kSelfSignedLong,     // D-Link/SmartThings/Hue: 20-28 year self-signed
+};
+
+struct TlsServerSpec {
+  std::uint16_t port = 443;
+  TlsVersion version = TlsVersion::kTls12;
+  CertPolicy cert = CertPolicy::kSelfSignedLocalIp;
+  std::uint16_t key_bits = 2048;
+  std::uint32_t validity_days = 90;
+};
+
+/// HTTP service with the §5.2 security-relevant switches.
+struct HttpServerSpec {
+  std::uint16_t port = 80;
+  std::string server_banner;     // Server: header (Nessus banner grab)
+  std::string user_agent;        // sent when this device makes requests
+  bool expose_backup = false;    // Lefun: /backup serves config files
+  bool jquery_12 = false;        // Microseven: page embeds jQuery 1.2
+  bool onvif_snapshot = false;   // Microseven: unauthenticated snapshot
+  bool list_accounts = false;    // Microseven: user account listing
+};
+
+/// mDNS service with an instance-name pattern. Placeholders expanded per
+/// device: {MAC} aa:bb:.., {MACPLAIN} AABBCC.., {MACTAIL} last 6 hex,
+/// {UUID} device UUID, {NAME} display name, {MODEL} model string,
+/// {SERIAL} serial number.
+struct MdnsServiceTemplate {
+  std::string service_type;
+  std::string instance_pattern;
+  std::uint16_t port = 80;
+  std::vector<std::string> txt_patterns;
+};
+
+struct DeviceBehavior {
+  // -- DHCP ------------------------------------------------------------
+  bool use_dhcp = true;
+  HostnamePolicy hostname_policy = HostnamePolicy::kModel;
+  std::string display_name;  // for kDisplayName
+  std::string dhcp_vendor_class;
+  std::vector<std::uint8_t> dhcp_params{1, 3, 6, 12, 15};
+
+  // -- L2/L3 background --------------------------------------------------
+  double eapol_interval_s = 3600;  // 0 disables (wired or quiet devices)
+  bool llc_xid = false;
+  bool ipv6 = false;
+  double icmpv6_interval_s = 0;  // NS multicast probing (Nest Hub: heavy)
+  double ping_gateway_interval_s = 0;
+  bool arp_daily_scan = false;        // Echo's broadcast sweep
+  bool arp_unicast_probes = false;    // Echo's targeted per-device probes
+  bool arp_public_ip_probe = false;   // 6 devices probe public IPs
+  bool responds_to_broadcast_arp = true;
+
+  // -- mDNS ---------------------------------------------------------------
+  double mdns_query_interval_s = 0;
+  std::vector<std::string> mdns_query_types;
+  bool mdns_respond_multicast = true;
+  bool mdns_respond_unicast = false;
+  std::vector<MdnsServiceTemplate> mdns_services;
+  HostnamePolicy mdns_hostname_policy = HostnamePolicy::kModel;
+
+  // -- SSDP ---------------------------------------------------------------
+  double ssdp_msearch_interval_s = 0;
+  std::vector<std::string> ssdp_search_targets;
+  double ssdp_notify_interval_s = 0;
+  bool ssdp_respond = false;
+  std::string ssdp_server;  // SERVER string, carries the UPnP version
+  bool ssdp_description = false;
+  bool upnp_serial_is_mac = false;
+  bool ssdp_notify_bad_prefix = false;  // Fire TV /16 LOCATION bug
+  /// LG TV: NOTIFY alternates between firmware strings.
+  std::vector<std::string> ssdp_server_rotation;
+
+  // -- proprietary discovery ------------------------------------------------
+  bool tplink_server = false;
+  double tplink_scan_interval_s = 0;  // Echo/Google scan for TP-Link gear
+  bool tuya_beacon = false;
+  double tuya_interval_s = 30;
+  bool coap_server = false;
+  double coap_query_interval_s = 0;   // Samsung fridge asks for /oic/res
+  double lifx_beacon_interval_s = 0;  // Echo: UDP 56700 every 2 h
+  double unknown_beacon_interval_s = 0;
+  std::uint16_t unknown_beacon_port = 0;
+  bool unknown_beacon_d0 = false;  // first byte 0xd0 (spec-classifier bait)
+
+  // -- Matter (IPv6 smart-home standard; Echo speakers run it, §4.1) ----------
+  double matter_interval_s = 0;
+
+  // -- unidentified cluster UDP (Figure 4e's unknown Echo protocol) -----------
+  double cluster_udp_interval_s = 0;
+  std::uint16_t cluster_udp_port = 33434;
+
+  // -- RTP -------------------------------------------------------------------
+  double rtp_interval_s = 0;
+  std::uint16_t rtp_port = 55444;  // Echo multi-room; Google uses 10000-10010
+
+  // -- TLS cluster -------------------------------------------------------------
+  std::optional<TlsServerSpec> tls_server;
+  double cluster_tls_interval_s = 0;  // dial the platform coordinator
+
+  // -- HTTP client behavior ---------------------------------------------------
+  /// Periodically GET the cluster coordinator's HTTP service (Chromecast
+  /// peers poll /setup status; the source of the paper's passive HTTP).
+  double http_poll_interval_s = 0;
+
+  // -- plain services -------------------------------------------------------
+  std::vector<HttpServerSpec> http_servers;
+  std::string http_client_user_agent;  // exposed in outgoing requests
+  bool telnet_server = false;
+  bool dns_server = false;
+  std::string dns_banner;  // "SheerDNS 1.0.0" on the HomePod Mini
+  std::vector<std::uint16_t> misc_tcp_open;
+  std::vector<std::uint16_t> misc_udp_open;
+
+  // -- TPLINK sysinfo payload (geolocation exposure, Table 5) -----------------
+  double latitude = 0;
+  double longitude = 0;
+};
+
+/// The calibrated profile for one catalog entry. `index` is the device's
+/// position in the catalog (used to vary per-unit details deterministically).
+DeviceBehavior behavior_for(const DeviceSpec& spec, std::size_t index);
+
+}  // namespace roomnet

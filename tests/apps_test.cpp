@@ -1,0 +1,299 @@
+// Tests for the app campaign substrate: permission model, dataset
+// generation, runtime instrumentation, and the exfiltration audit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/audit.hpp"
+#include "apps/runtime.hpp"
+#include "testbed/lab.hpp"
+
+namespace roomnet {
+namespace {
+
+// ------------------------------------------------------------- permissions
+
+TEST(Permissions, DangerousClassification) {
+  EXPECT_FALSE(is_dangerous(AndroidPermission::kInternet));
+  EXPECT_FALSE(is_dangerous(AndroidPermission::kChangeWifiMulticastState));
+  EXPECT_TRUE(is_dangerous(AndroidPermission::kAccessFineLocation));
+  EXPECT_TRUE(is_dangerous(AndroidPermission::kNearbyWifiDevices));
+}
+
+TEST(Permissions, SsidRequirementChangesWithAndroidVersion) {
+  EXPECT_EQ(required_permission(SensitiveData::kRouterSsid, 9),
+            AndroidPermission::kAccessFineLocation);
+  EXPECT_EQ(required_permission(SensitiveData::kRouterSsid, 13),
+            AndroidPermission::kNearbyWifiDevices);
+}
+
+TEST(Permissions, LanHarvestedDataHasNoProtectingPermission) {
+  EXPECT_EQ(required_permission(SensitiveData::kDeviceMac, 9), std::nullopt);
+  EXPECT_EQ(required_permission(SensitiveData::kDeviceUuid, 13), std::nullopt);
+  EXPECT_EQ(required_permission(SensitiveData::kTplinkOemId, 9), std::nullopt);
+  EXPECT_EQ(required_permission(SensitiveData::kLocalDeviceList, 13),
+            std::nullopt);
+}
+
+// ----------------------------------------------------------------- dataset
+
+TEST(AppDatasetTest, MatchesPaperMarginals) {
+  Rng rng(1);
+  const AppDataset dataset = generate_app_dataset(rng);
+  EXPECT_EQ(dataset.apps.size(), 2335u);
+  EXPECT_EQ(dataset.iot_count(), 987u);
+  EXPECT_EQ(dataset.regular_count(), 1348u);
+
+  std::size_t mdns = 0, ssdp = 0, netbios = 0, tls = 0;
+  std::size_t router_ssid = 0, router_bssid = 0, wifi_mac = 0, device_macs_iot = 0;
+  for (const auto& app : dataset.apps) {
+    mdns += app.scans_mdns;
+    ssdp += app.scans_ssdp;
+    netbios += app.scans_netbios;
+    tls += app.uses_local_tls;
+    router_ssid += app.uploads_router_ssid;
+    router_bssid += app.uploads_router_bssid;
+    wifi_mac += app.uploads_wifi_mac;
+    device_macs_iot += app.uploads_device_macs && app.iot_companion;
+  }
+  // §4.3 rates: mDNS 6%, SSDP 4%, NetBIOS 0.5% (=10 apps), TLS 25%.
+  EXPECT_NEAR(static_cast<double>(mdns) / 2335.0, 0.06, 0.01);
+  EXPECT_NEAR(static_cast<double>(ssdp) / 2335.0, 0.04, 0.01);
+  EXPECT_LE(netbios, 10u);
+  EXPECT_GE(netbios, 5u);
+  EXPECT_NEAR(static_cast<double>(tls) / 2335.0, 0.25, 0.03);
+  // §6.1: 36 SSID / 28 BSSID / 15 Wi-Fi MAC / 6 IoT apps with device MACs.
+  EXPECT_EQ(router_ssid, 36u);
+  EXPECT_LE(router_bssid, 28u);
+  EXPECT_GE(router_bssid, 20u);
+  EXPECT_LE(wifi_mac, 15u);
+  EXPECT_EQ(device_macs_iot, 6u);
+}
+
+TEST(AppDatasetTest, NamedCaseStudiesPresent) {
+  Rng rng(1);
+  const AppDataset dataset = generate_app_dataset(rng);
+  const AppSpec* lucky = dataset.find("com.luckyapp.winner");
+  ASSERT_NE(lucky, nullptr);
+  EXPECT_TRUE(lucky->scans_netbios);
+  EXPECT_EQ(lucky->sdks, std::vector<SdkId>{SdkId::kInnoSdk});
+
+  const AppSpec* cnn = dataset.find("com.cnn.mobile.android.phone");
+  ASSERT_NE(cnn, nullptr);
+  EXPECT_EQ(cnn->sdks, std::vector<SdkId>{SdkId::kAppDynamics});
+  EXPECT_TRUE(cnn->scans_ssdp);
+
+  EXPECT_NE(dataset.find("org.speedspot.speedspotspeedtest"), nullptr);
+  EXPECT_NE(dataset.find("com.amazon.dee.app"), nullptr);
+}
+
+TEST(AppDatasetTest, DeterministicForSeed) {
+  Rng a(5), b(5);
+  const AppDataset da = generate_app_dataset(a);
+  const AppDataset db = generate_app_dataset(b);
+  ASSERT_EQ(da.apps.size(), db.apps.size());
+  for (std::size_t i = 0; i < da.apps.size(); ++i) {
+    EXPECT_EQ(da.apps[i].package, db.apps[i].package);
+    EXPECT_EQ(da.apps[i].scans_mdns, db.apps[i].scans_mdns);
+  }
+}
+
+// ----------------------------------------------------------------- runtime
+
+class AppRuntimeFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    lab_ = new Lab(LabConfig{.seed = 21, .record_frames = false});
+    lab_->start_all();
+    lab_->run_for(SimTime::from_minutes(8));
+    runner_ = new AppRunner(*lab_);
+  }
+  static void TearDownTestSuite() {
+    delete runner_;
+    delete lab_;
+    runner_ = nullptr;
+    lab_ = nullptr;
+  }
+  static Lab* lab_;
+  static AppRunner* runner_;
+};
+Lab* AppRuntimeFixture::lab_ = nullptr;
+AppRunner* AppRuntimeFixture::runner_ = nullptr;
+
+TEST_F(AppRuntimeFixture, MdnsScanHarvestsDeviceIdentifiers) {
+  AppSpec app;
+  app.package = "test.mdns.scanner";
+  app.permissions = {AndroidPermission::kInternet,
+                     AndroidPermission::kChangeWifiMulticastState};
+  app.scans_mdns = true;
+  app.uploads_device_macs = true;
+  app.first_party_endpoint = "collect.example.com";
+
+  const AppRunRecord record = runner_->run(app);
+  EXPECT_TRUE(record.local_protocols.count(ProtocolLabel::kMdns));
+  EXPECT_GT(record.devices_discovered, 3u);
+  // Device MACs were harvested purely via the LAN side channel.
+  bool mac_via_side_channel = false;
+  for (const auto& access : record.accesses)
+    mac_via_side_channel |= access.data == SensitiveData::kDeviceMac &&
+                            access.via_side_channel;
+  EXPECT_TRUE(mac_via_side_channel);
+  // And exfiltrated.
+  ASSERT_FALSE(record.uploads.empty());
+  EXPECT_NE(record.uploads[0].payload_json.find("device_mac"),
+            std::string::npos);
+}
+
+TEST_F(AppRuntimeFixture, TplinkDiscoveryLeaksGeolocationWithoutPermission) {
+  AppSpec app;
+  app.package = "test.tplink.no-location";
+  app.permissions = {AndroidPermission::kInternet};  // no location!
+  app.uses_tplink = true;
+  app.uploads_geolocation_with_ids = true;
+  app.first_party_endpoint = "collect.example.com";
+
+  const AppRunRecord record = runner_->run(app);
+  bool geo_side_channel = false;
+  for (const auto& access : record.accesses) {
+    if (access.data == SensitiveData::kGeolocation) {
+      EXPECT_TRUE(access.via_side_channel);
+      EXPECT_FALSE(access.permission_held);
+      geo_side_channel = true;
+    }
+  }
+  EXPECT_TRUE(geo_side_channel);
+  // TP-Link IDs harvested too.
+  bool has_oem = false;
+  for (const auto& upload : record.uploads)
+    has_oem |= upload.payload_json.find("tplink_oem_id") != std::string::npos;
+  EXPECT_TRUE(has_oem);
+}
+
+TEST_F(AppRuntimeFixture, NetbiosSweepAndArpHarvest) {
+  AppSpec app;
+  app.package = "test.innosdk.host";
+  app.scans_netbios = true;
+  app.harvests_arp = true;
+  app.sdks = {SdkId::kInnoSdk};
+  app.uploads_device_macs = true;
+  app.uploads_device_list = true;
+  app.first_party_endpoint = "collect.example.com";
+
+  const AppRunRecord record = runner_->run(app, SimTime::from_seconds(30));
+  EXPECT_TRUE(record.local_protocols.count(ProtocolLabel::kNetbios));
+  EXPECT_TRUE(record.local_protocols.count(ProtocolLabel::kArp));
+  // The phone's passively-filled ARP cache yields device MACs.
+  std::size_t macs = 0;
+  for (const auto& access : record.accesses)
+    macs += access.data == SensitiveData::kDeviceMac;
+  EXPECT_GT(macs, 5u);
+  // The innosdk upload goes to its documented endpoint.
+  bool inno_upload = false;
+  for (const auto& upload : record.uploads)
+    inno_upload |= upload.sdk == SdkId::kInnoSdk &&
+                   upload.endpoint == "gw.innotechworld.com";
+  EXPECT_TRUE(inno_upload);
+}
+
+TEST_F(AppRuntimeFixture, AppDynamicsEncodesSsidInBase64) {
+  AppSpec app;
+  app.package = "test.cnn.like";
+  app.sdks = {SdkId::kAppDynamics};
+  app.scans_ssdp = true;
+  app.uploads_router_ssid = true;
+  app.uploads_device_list = true;
+  app.first_party_endpoint = "data.example.com";
+
+  const AppRunRecord record = runner_->run(app);
+  bool found = false;
+  for (const auto& upload : record.uploads) {
+    if (upload.sdk != SdkId::kAppDynamics) continue;
+    // "HomeNet-5G" base64 == "SG9tZU5ldC01Rw==".
+    found |= upload.payload_json.find("SG9tZU5ldC01Rw==") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(AppRuntimeFixture, BypassDetectedOnlyWithoutPermission) {
+  AppSpec with;
+  with.package = "test.with.location";
+  with.permissions = {AndroidPermission::kInternet,
+                      AndroidPermission::kAccessFineLocation};
+  with.uploads_router_ssid = true;
+  with.first_party_endpoint = "a.example.com";
+
+  AppSpec without = with;
+  without.package = "test.without.location";
+  without.permissions = {AndroidPermission::kInternet};
+
+  const auto r1 = runner_->run(with);
+  const auto r2 = runner_->run(without);
+  const auto findings = detect_exfiltration({r1, r2});
+  bool with_bypass = false, without_bypass = false;
+  for (const auto& finding : findings) {
+    if (finding.package == with.package) with_bypass |= finding.permission_bypass;
+    if (finding.package == without.package)
+      without_bypass |= finding.permission_bypass;
+  }
+  EXPECT_FALSE(with_bypass);
+  EXPECT_TRUE(without_bypass);
+}
+
+TEST_F(AppRuntimeFixture, CampaignSummaryCountsCorrectly) {
+  std::vector<AppRunRecord> records;
+  AppSpec a;
+  a.package = "a";
+  a.scans_mdns = true;
+  a.iot_companion = true;
+  a.uploads_device_macs = true;
+  a.permissions = {AndroidPermission::kInternet};
+  a.first_party_endpoint = "x.example.com";
+  records.push_back(runner_->run(a));
+  AppSpec b;
+  b.package = "b";
+  records.push_back(runner_->run(b));
+
+  const AppCampaignStats stats = summarize_campaign(records);
+  EXPECT_EQ(stats.total_apps, 2u);
+  EXPECT_EQ(stats.apps_scanning_lan, 1u);
+  EXPECT_EQ(stats.apps_mdns, 1u);
+  EXPECT_EQ(stats.iot_apps_uploading_device_macs, 1u);
+  EXPECT_DOUBLE_EQ(stats.pct(1), 50.0);
+}
+
+TEST_F(AppRuntimeFixture, IosEntitlementGateBlocksScans) {
+  AppSpec app;
+  app.package = "test.ios.scanner";
+  app.platform = MobilePlatform::kIos;
+  app.scans_mdns = true;
+  app.scans_ssdp = true;
+  app.uploads_device_macs = true;
+  app.first_party_endpoint = "collect.example.com";
+
+  // No entitlement: the OS refuses every LAN socket (§2.1 iOS PoC).
+  const AppRunRecord blocked = runner_->run(app);
+  EXPECT_TRUE(blocked.local_protocols.empty());
+  EXPECT_EQ(blocked.devices_discovered, 0u);
+
+  // Entitlement but no user consent: still blocked.
+  app.ios.multicast_entitlement = true;
+  const AppRunRecord no_consent = runner_->run(app);
+  EXPECT_TRUE(no_consent.local_protocols.empty());
+
+  // Both granted: behaves like Android.
+  app.ios.local_network_consent = true;
+  const AppRunRecord granted = runner_->run(app);
+  EXPECT_FALSE(granted.local_protocols.empty());
+  EXPECT_GT(granted.devices_discovered, 0u);
+}
+
+TEST(IosModel, EntitlementPredicate) {
+  EXPECT_FALSE(ios_allows_local_network({}));
+  EXPECT_FALSE(ios_allows_local_network({.multicast_entitlement = true}));
+  EXPECT_FALSE(ios_allows_local_network({.local_network_consent = true}));
+  EXPECT_TRUE(ios_allows_local_network(
+      {.multicast_entitlement = true, .local_network_consent = true}));
+}
+
+}  // namespace
+}  // namespace roomnet

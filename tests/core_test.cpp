@@ -1,0 +1,106 @@
+// End-to-end pipeline test: one (reduced-scale) run of the full study.
+#include <gtest/gtest.h>
+
+#include "core/roomnet.hpp"
+
+namespace roomnet {
+namespace {
+
+class PipelineFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    PipelineConfig config;
+    config.seed = 42;
+    config.idle_duration = SimTime::from_minutes(40);
+    config.interactions = 120;
+    config.app_sample = 40;
+    pipeline_ = new Pipeline(config);
+    results_ = new PipelineResults(pipeline_->run());
+  }
+  static void TearDownTestSuite() {
+    delete results_;
+    delete pipeline_;
+    results_ = nullptr;
+    pipeline_ = nullptr;
+  }
+  static Pipeline* pipeline_;
+  static PipelineResults* results_;
+};
+Pipeline* PipelineFixture::pipeline_ = nullptr;
+PipelineResults* PipelineFixture::results_ = nullptr;
+
+TEST_F(PipelineFixture, CapturesSubstantialLocalTraffic) {
+  EXPECT_GT(results_->local_packets, 5000u);
+  EXPECT_GT(results_->flows, 100u);
+  EXPECT_EQ(results_->population.size(), 93u);
+}
+
+TEST_F(PipelineFixture, Rq1ProtocolDiversity) {
+  // The paper's Figure 2 shows >20 protocols in passive traffic.
+  const auto labels = results_->usage.all_labels();
+  EXPECT_GE(labels.size(), 12u);
+  // The headline ordering: ARP/DHCP near-universal, mDNS ~44%, SSDP ~1/3.
+  const auto pct = [&](ProtocolLabel label) {
+    return 100.0 *
+           static_cast<double>(
+               results_->usage.devices_using(label, results_->population)) /
+           93.0;
+  };
+  EXPECT_GT(pct(ProtocolLabel::kArp), 80);
+  EXPECT_GT(pct(ProtocolLabel::kDhcp), 85);
+  EXPECT_GT(pct(ProtocolLabel::kArp), pct(ProtocolLabel::kMdns));
+  EXPECT_GT(pct(ProtocolLabel::kMdns), pct(ProtocolLabel::kTuyaLp));
+}
+
+TEST_F(PipelineFixture, Rq1CommunicationGraphHasVendorClusters) {
+  EXPECT_GT(results_->graph.connected_nodes().size(), 10u);
+  EXPECT_FALSE(results_->graph.edges.empty());
+}
+
+TEST_F(PipelineFixture, Rq2ExposureMatrixPopulated) {
+  EXPECT_TRUE(results_->exposure.exposed(ProtocolLabel::kArp, ExposedData::kMac));
+  EXPECT_TRUE(
+      results_->exposure.exposed(ProtocolLabel::kDhcp, ExposedData::kOsVersion));
+  EXPECT_TRUE(
+      results_->exposure.exposed(ProtocolLabel::kTuyaLp, ExposedData::kGwId));
+}
+
+TEST_F(PipelineFixture, Rq2VulnerabilitiesFound) {
+  EXPECT_FALSE(results_->vulnerabilities.empty());
+  bool weak_key = false;
+  for (const auto& finding : results_->vulnerabilities)
+    weak_key |= finding.id == "CVE-2016-2183";
+  EXPECT_TRUE(weak_key);
+}
+
+TEST_F(PipelineFixture, Rq3AppCampaignAndEntropy) {
+  EXPECT_EQ(results_->app_stats.total_apps, 40u);
+  EXPECT_FALSE(results_->exfiltration.empty());
+  EXPECT_FALSE(results_->fingerprints.rows.empty());
+}
+
+TEST_F(PipelineFixture, ClassifierDisagreementIsRealistic) {
+  // Appendix C.2: the tools disagree on a noticeable but minor fraction.
+  EXPECT_GT(results_->crossval.total, 100u);
+  EXPECT_GT(results_->crossval.agreement_rate(), 0.3);
+  EXPECT_GT(results_->crossval.disagreement_rate(), 0.0);
+  EXPECT_LT(results_->crossval.disagreement_rate(), 0.6);
+}
+
+TEST(PipelineDeterminism, SameSeedSameHeadlineNumbers) {
+  PipelineConfig config;
+  config.idle_duration = SimTime::from_minutes(10);
+  config.interactions = 20;
+  config.app_sample = 5;
+  config.run_scan = false;
+  config.run_crowd = false;
+  Pipeline p1(config), p2(config);
+  const auto r1 = p1.run();
+  const auto r2 = p2.run();
+  EXPECT_EQ(r1.local_packets, r2.local_packets);
+  EXPECT_EQ(r1.flows, r2.flows);
+  EXPECT_EQ(r1.graph.edges.size(), r2.graph.edges.size());
+}
+
+}  // namespace
+}  // namespace roomnet
