@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appd_periodicity.dir/appd_periodicity.cpp.o"
+  "CMakeFiles/appd_periodicity.dir/appd_periodicity.cpp.o.d"
+  "appd_periodicity"
+  "appd_periodicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appd_periodicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

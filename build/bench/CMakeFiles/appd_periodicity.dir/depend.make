@@ -1,0 +1,2 @@
+# Empty dependencies file for appd_periodicity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_device_graph.dir/fig1_device_graph.cpp.o"
+  "CMakeFiles/fig1_device_graph.dir/fig1_device_graph.cpp.o.d"
+  "fig1_device_graph"
+  "fig1_device_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_device_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_protocol_prevalence.dir/fig2_protocol_prevalence.cpp.o"
+  "CMakeFiles/fig2_protocol_prevalence.dir/fig2_protocol_prevalence.cpp.o.d"
+  "fig2_protocol_prevalence"
+  "fig2_protocol_prevalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_protocol_prevalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_classifier_crossval.dir/fig3_classifier_crossval.cpp.o"
+  "CMakeFiles/fig3_classifier_crossval.dir/fig3_classifier_crossval.cpp.o.d"
+  "fig3_classifier_crossval"
+  "fig3_classifier_crossval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_classifier_crossval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_classifier_crossval.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_vendor_clusters.dir/fig4_vendor_clusters.cpp.o"
+  "CMakeFiles/fig4_vendor_clusters.dir/fig4_vendor_clusters.cpp.o.d"
+  "fig4_vendor_clusters"
+  "fig4_vendor_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_vendor_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_info_exposure.dir/tab1_info_exposure.cpp.o"
+  "CMakeFiles/tab1_info_exposure.dir/tab1_info_exposure.cpp.o.d"
+  "tab1_info_exposure"
+  "tab1_info_exposure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_info_exposure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

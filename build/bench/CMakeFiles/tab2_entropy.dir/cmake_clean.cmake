@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_entropy.dir/tab2_entropy.cpp.o"
+  "CMakeFiles/tab2_entropy.dir/tab2_entropy.cpp.o.d"
+  "tab2_entropy"
+  "tab2_entropy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_entropy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

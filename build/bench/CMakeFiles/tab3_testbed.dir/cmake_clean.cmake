@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_testbed.dir/tab3_testbed.cpp.o"
+  "CMakeFiles/tab3_testbed.dir/tab3_testbed.cpp.o.d"
+  "tab3_testbed"
+  "tab3_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab4_discovery_responses.dir/tab4_discovery_responses.cpp.o"
+  "CMakeFiles/tab4_discovery_responses.dir/tab4_discovery_responses.cpp.o.d"
+  "tab4_discovery_responses"
+  "tab4_discovery_responses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab4_discovery_responses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

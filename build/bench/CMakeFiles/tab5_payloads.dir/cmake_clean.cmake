@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab5_payloads.dir/tab5_payloads.cpp.o"
+  "CMakeFiles/tab5_payloads.dir/tab5_payloads.cpp.o.d"
+  "tab5_payloads"
+  "tab5_payloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab5_payloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab6_active_scan.cpp" "bench/CMakeFiles/tab6_active_scan.dir/tab6_active_scan.cpp.o" "gcc" "bench/CMakeFiles/tab6_active_scan.dir/tab6_active_scan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/roomnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/roomnet_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/honeypot/CMakeFiles/roomnet_honeypot.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/roomnet_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/roomnet_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowd/CMakeFiles/roomnet_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/roomnet_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/roomnet_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/capture/CMakeFiles/roomnet_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/roomnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/roomnet_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/netcore/CMakeFiles/roomnet_netcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab6_active_scan.dir/tab6_active_scan.cpp.o"
+  "CMakeFiles/tab6_active_scan.dir/tab6_active_scan.cpp.o.d"
+  "tab6_active_scan"
+  "tab6_active_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab6_active_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab7_tls_profiles.dir/tab7_tls_profiles.cpp.o"
+  "CMakeFiles/tab7_tls_profiles.dir/tab7_tls_profiles.cpp.o.d"
+  "tab7_tls_profiles"
+  "tab7_tls_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab7_tls_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

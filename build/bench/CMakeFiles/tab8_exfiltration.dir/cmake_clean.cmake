@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab8_exfiltration.dir/tab8_exfiltration.cpp.o"
+  "CMakeFiles/tab8_exfiltration.dir/tab8_exfiltration.cpp.o.d"
+  "tab8_exfiltration"
+  "tab8_exfiltration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab8_exfiltration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab8_exfiltration.
+# This may be replaced when dependencies are built.

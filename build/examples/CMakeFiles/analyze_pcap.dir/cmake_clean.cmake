@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_pcap.dir/analyze_pcap.cpp.o"
+  "CMakeFiles/analyze_pcap.dir/analyze_pcap.cpp.o.d"
+  "analyze_pcap"
+  "analyze_pcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/household_fingerprint.dir/household_fingerprint.cpp.o"
+  "CMakeFiles/household_fingerprint.dir/household_fingerprint.cpp.o.d"
+  "household_fingerprint"
+  "household_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/household_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

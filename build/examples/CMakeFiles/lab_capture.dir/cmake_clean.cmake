@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lab_capture.dir/lab_capture.cpp.o"
+  "CMakeFiles/lab_capture.dir/lab_capture.cpp.o.d"
+  "lab_capture"
+  "lab_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lab_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spyware_audit.dir/spyware_audit.cpp.o"
+  "CMakeFiles/spyware_audit.dir/spyware_audit.cpp.o.d"
+  "spyware_audit"
+  "spyware_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spyware_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("netcore")
+subdirs("proto")
+subdirs("sim")
+subdirs("capture")
+subdirs("classify")
+subdirs("testbed")
+subdirs("scan")
+subdirs("honeypot")
+subdirs("analysis")
+subdirs("apps")
+subdirs("crowd")
+subdirs("core")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roomnet_analysis.dir/exposure.cpp.o"
+  "CMakeFiles/roomnet_analysis.dir/exposure.cpp.o.d"
+  "CMakeFiles/roomnet_analysis.dir/identifiers.cpp.o"
+  "CMakeFiles/roomnet_analysis.dir/identifiers.cpp.o.d"
+  "CMakeFiles/roomnet_analysis.dir/overview.cpp.o"
+  "CMakeFiles/roomnet_analysis.dir/overview.cpp.o.d"
+  "libroomnet_analysis.a"
+  "libroomnet_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roomnet_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roomnet_apps.dir/appspec.cpp.o"
+  "CMakeFiles/roomnet_apps.dir/appspec.cpp.o.d"
+  "CMakeFiles/roomnet_apps.dir/audit.cpp.o"
+  "CMakeFiles/roomnet_apps.dir/audit.cpp.o.d"
+  "CMakeFiles/roomnet_apps.dir/permissions.cpp.o"
+  "CMakeFiles/roomnet_apps.dir/permissions.cpp.o.d"
+  "CMakeFiles/roomnet_apps.dir/runtime.cpp.o"
+  "CMakeFiles/roomnet_apps.dir/runtime.cpp.o.d"
+  "libroomnet_apps.a"
+  "libroomnet_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roomnet_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

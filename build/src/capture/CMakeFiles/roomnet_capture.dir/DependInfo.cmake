@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/capture/arpspoof.cpp" "src/capture/CMakeFiles/roomnet_capture.dir/arpspoof.cpp.o" "gcc" "src/capture/CMakeFiles/roomnet_capture.dir/arpspoof.cpp.o.d"
+  "/root/repo/src/capture/capture.cpp" "src/capture/CMakeFiles/roomnet_capture.dir/capture.cpp.o" "gcc" "src/capture/CMakeFiles/roomnet_capture.dir/capture.cpp.o.d"
+  "/root/repo/src/capture/filter.cpp" "src/capture/CMakeFiles/roomnet_capture.dir/filter.cpp.o" "gcc" "src/capture/CMakeFiles/roomnet_capture.dir/filter.cpp.o.d"
+  "/root/repo/src/capture/flow.cpp" "src/capture/CMakeFiles/roomnet_capture.dir/flow.cpp.o" "gcc" "src/capture/CMakeFiles/roomnet_capture.dir/flow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/roomnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/roomnet_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/netcore/CMakeFiles/roomnet_netcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roomnet_capture.dir/arpspoof.cpp.o"
+  "CMakeFiles/roomnet_capture.dir/arpspoof.cpp.o.d"
+  "CMakeFiles/roomnet_capture.dir/capture.cpp.o"
+  "CMakeFiles/roomnet_capture.dir/capture.cpp.o.d"
+  "CMakeFiles/roomnet_capture.dir/filter.cpp.o"
+  "CMakeFiles/roomnet_capture.dir/filter.cpp.o.d"
+  "CMakeFiles/roomnet_capture.dir/flow.cpp.o"
+  "CMakeFiles/roomnet_capture.dir/flow.cpp.o.d"
+  "libroomnet_capture.a"
+  "libroomnet_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roomnet_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

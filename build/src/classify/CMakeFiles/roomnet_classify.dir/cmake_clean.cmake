@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roomnet_classify.dir/classifier.cpp.o"
+  "CMakeFiles/roomnet_classify.dir/classifier.cpp.o.d"
+  "CMakeFiles/roomnet_classify.dir/crossval.cpp.o"
+  "CMakeFiles/roomnet_classify.dir/crossval.cpp.o.d"
+  "CMakeFiles/roomnet_classify.dir/label.cpp.o"
+  "CMakeFiles/roomnet_classify.dir/label.cpp.o.d"
+  "CMakeFiles/roomnet_classify.dir/periodicity.cpp.o"
+  "CMakeFiles/roomnet_classify.dir/periodicity.cpp.o.d"
+  "CMakeFiles/roomnet_classify.dir/response.cpp.o"
+  "CMakeFiles/roomnet_classify.dir/response.cpp.o.d"
+  "libroomnet_classify.a"
+  "libroomnet_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roomnet_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libroomnet_classify.a"
+)

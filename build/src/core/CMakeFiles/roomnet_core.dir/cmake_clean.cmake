@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roomnet_core.dir/pipeline.cpp.o"
+  "CMakeFiles/roomnet_core.dir/pipeline.cpp.o.d"
+  "libroomnet_core.a"
+  "libroomnet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roomnet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crowd/entropy.cpp" "src/crowd/CMakeFiles/roomnet_crowd.dir/entropy.cpp.o" "gcc" "src/crowd/CMakeFiles/roomnet_crowd.dir/entropy.cpp.o.d"
+  "/root/repo/src/crowd/geocode.cpp" "src/crowd/CMakeFiles/roomnet_crowd.dir/geocode.cpp.o" "gcc" "src/crowd/CMakeFiles/roomnet_crowd.dir/geocode.cpp.o.d"
+  "/root/repo/src/crowd/inference.cpp" "src/crowd/CMakeFiles/roomnet_crowd.dir/inference.cpp.o" "gcc" "src/crowd/CMakeFiles/roomnet_crowd.dir/inference.cpp.o.d"
+  "/root/repo/src/crowd/inspector.cpp" "src/crowd/CMakeFiles/roomnet_crowd.dir/inspector.cpp.o" "gcc" "src/crowd/CMakeFiles/roomnet_crowd.dir/inspector.cpp.o.d"
+  "/root/repo/src/crowd/sha256.cpp" "src/crowd/CMakeFiles/roomnet_crowd.dir/sha256.cpp.o" "gcc" "src/crowd/CMakeFiles/roomnet_crowd.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/roomnet_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/roomnet_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/capture/CMakeFiles/roomnet_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/roomnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/roomnet_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/netcore/CMakeFiles/roomnet_netcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roomnet_crowd.dir/entropy.cpp.o"
+  "CMakeFiles/roomnet_crowd.dir/entropy.cpp.o.d"
+  "CMakeFiles/roomnet_crowd.dir/geocode.cpp.o"
+  "CMakeFiles/roomnet_crowd.dir/geocode.cpp.o.d"
+  "CMakeFiles/roomnet_crowd.dir/inference.cpp.o"
+  "CMakeFiles/roomnet_crowd.dir/inference.cpp.o.d"
+  "CMakeFiles/roomnet_crowd.dir/inspector.cpp.o"
+  "CMakeFiles/roomnet_crowd.dir/inspector.cpp.o.d"
+  "CMakeFiles/roomnet_crowd.dir/sha256.cpp.o"
+  "CMakeFiles/roomnet_crowd.dir/sha256.cpp.o.d"
+  "libroomnet_crowd.a"
+  "libroomnet_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roomnet_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roomnet_honeypot.dir/honeypot.cpp.o"
+  "CMakeFiles/roomnet_honeypot.dir/honeypot.cpp.o.d"
+  "libroomnet_honeypot.a"
+  "libroomnet_honeypot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roomnet_honeypot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

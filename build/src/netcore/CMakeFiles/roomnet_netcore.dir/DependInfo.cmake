@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netcore/address.cpp" "src/netcore/CMakeFiles/roomnet_netcore.dir/address.cpp.o" "gcc" "src/netcore/CMakeFiles/roomnet_netcore.dir/address.cpp.o.d"
+  "/root/repo/src/netcore/bytes.cpp" "src/netcore/CMakeFiles/roomnet_netcore.dir/bytes.cpp.o" "gcc" "src/netcore/CMakeFiles/roomnet_netcore.dir/bytes.cpp.o.d"
+  "/root/repo/src/netcore/checksum.cpp" "src/netcore/CMakeFiles/roomnet_netcore.dir/checksum.cpp.o" "gcc" "src/netcore/CMakeFiles/roomnet_netcore.dir/checksum.cpp.o.d"
+  "/root/repo/src/netcore/packet.cpp" "src/netcore/CMakeFiles/roomnet_netcore.dir/packet.cpp.o" "gcc" "src/netcore/CMakeFiles/roomnet_netcore.dir/packet.cpp.o.d"
+  "/root/repo/src/netcore/pcap.cpp" "src/netcore/CMakeFiles/roomnet_netcore.dir/pcap.cpp.o" "gcc" "src/netcore/CMakeFiles/roomnet_netcore.dir/pcap.cpp.o.d"
+  "/root/repo/src/netcore/uuid.cpp" "src/netcore/CMakeFiles/roomnet_netcore.dir/uuid.cpp.o" "gcc" "src/netcore/CMakeFiles/roomnet_netcore.dir/uuid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

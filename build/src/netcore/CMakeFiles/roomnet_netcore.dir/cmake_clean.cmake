@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roomnet_netcore.dir/address.cpp.o"
+  "CMakeFiles/roomnet_netcore.dir/address.cpp.o.d"
+  "CMakeFiles/roomnet_netcore.dir/bytes.cpp.o"
+  "CMakeFiles/roomnet_netcore.dir/bytes.cpp.o.d"
+  "CMakeFiles/roomnet_netcore.dir/checksum.cpp.o"
+  "CMakeFiles/roomnet_netcore.dir/checksum.cpp.o.d"
+  "CMakeFiles/roomnet_netcore.dir/packet.cpp.o"
+  "CMakeFiles/roomnet_netcore.dir/packet.cpp.o.d"
+  "CMakeFiles/roomnet_netcore.dir/pcap.cpp.o"
+  "CMakeFiles/roomnet_netcore.dir/pcap.cpp.o.d"
+  "CMakeFiles/roomnet_netcore.dir/uuid.cpp.o"
+  "CMakeFiles/roomnet_netcore.dir/uuid.cpp.o.d"
+  "libroomnet_netcore.a"
+  "libroomnet_netcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roomnet_netcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

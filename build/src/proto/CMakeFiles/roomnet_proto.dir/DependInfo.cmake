@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/coap.cpp" "src/proto/CMakeFiles/roomnet_proto.dir/coap.cpp.o" "gcc" "src/proto/CMakeFiles/roomnet_proto.dir/coap.cpp.o.d"
+  "/root/repo/src/proto/dhcp.cpp" "src/proto/CMakeFiles/roomnet_proto.dir/dhcp.cpp.o" "gcc" "src/proto/CMakeFiles/roomnet_proto.dir/dhcp.cpp.o.d"
+  "/root/repo/src/proto/dhcpv6.cpp" "src/proto/CMakeFiles/roomnet_proto.dir/dhcpv6.cpp.o" "gcc" "src/proto/CMakeFiles/roomnet_proto.dir/dhcpv6.cpp.o.d"
+  "/root/repo/src/proto/dns.cpp" "src/proto/CMakeFiles/roomnet_proto.dir/dns.cpp.o" "gcc" "src/proto/CMakeFiles/roomnet_proto.dir/dns.cpp.o.d"
+  "/root/repo/src/proto/http.cpp" "src/proto/CMakeFiles/roomnet_proto.dir/http.cpp.o" "gcc" "src/proto/CMakeFiles/roomnet_proto.dir/http.cpp.o.d"
+  "/root/repo/src/proto/json.cpp" "src/proto/CMakeFiles/roomnet_proto.dir/json.cpp.o" "gcc" "src/proto/CMakeFiles/roomnet_proto.dir/json.cpp.o.d"
+  "/root/repo/src/proto/matter.cpp" "src/proto/CMakeFiles/roomnet_proto.dir/matter.cpp.o" "gcc" "src/proto/CMakeFiles/roomnet_proto.dir/matter.cpp.o.d"
+  "/root/repo/src/proto/media.cpp" "src/proto/CMakeFiles/roomnet_proto.dir/media.cpp.o" "gcc" "src/proto/CMakeFiles/roomnet_proto.dir/media.cpp.o.d"
+  "/root/repo/src/proto/netbios.cpp" "src/proto/CMakeFiles/roomnet_proto.dir/netbios.cpp.o" "gcc" "src/proto/CMakeFiles/roomnet_proto.dir/netbios.cpp.o.d"
+  "/root/repo/src/proto/ssdp.cpp" "src/proto/CMakeFiles/roomnet_proto.dir/ssdp.cpp.o" "gcc" "src/proto/CMakeFiles/roomnet_proto.dir/ssdp.cpp.o.d"
+  "/root/repo/src/proto/tls.cpp" "src/proto/CMakeFiles/roomnet_proto.dir/tls.cpp.o" "gcc" "src/proto/CMakeFiles/roomnet_proto.dir/tls.cpp.o.d"
+  "/root/repo/src/proto/tplink.cpp" "src/proto/CMakeFiles/roomnet_proto.dir/tplink.cpp.o" "gcc" "src/proto/CMakeFiles/roomnet_proto.dir/tplink.cpp.o.d"
+  "/root/repo/src/proto/tuya.cpp" "src/proto/CMakeFiles/roomnet_proto.dir/tuya.cpp.o" "gcc" "src/proto/CMakeFiles/roomnet_proto.dir/tuya.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netcore/CMakeFiles/roomnet_netcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roomnet_proto.dir/coap.cpp.o"
+  "CMakeFiles/roomnet_proto.dir/coap.cpp.o.d"
+  "CMakeFiles/roomnet_proto.dir/dhcp.cpp.o"
+  "CMakeFiles/roomnet_proto.dir/dhcp.cpp.o.d"
+  "CMakeFiles/roomnet_proto.dir/dhcpv6.cpp.o"
+  "CMakeFiles/roomnet_proto.dir/dhcpv6.cpp.o.d"
+  "CMakeFiles/roomnet_proto.dir/dns.cpp.o"
+  "CMakeFiles/roomnet_proto.dir/dns.cpp.o.d"
+  "CMakeFiles/roomnet_proto.dir/http.cpp.o"
+  "CMakeFiles/roomnet_proto.dir/http.cpp.o.d"
+  "CMakeFiles/roomnet_proto.dir/json.cpp.o"
+  "CMakeFiles/roomnet_proto.dir/json.cpp.o.d"
+  "CMakeFiles/roomnet_proto.dir/matter.cpp.o"
+  "CMakeFiles/roomnet_proto.dir/matter.cpp.o.d"
+  "CMakeFiles/roomnet_proto.dir/media.cpp.o"
+  "CMakeFiles/roomnet_proto.dir/media.cpp.o.d"
+  "CMakeFiles/roomnet_proto.dir/netbios.cpp.o"
+  "CMakeFiles/roomnet_proto.dir/netbios.cpp.o.d"
+  "CMakeFiles/roomnet_proto.dir/ssdp.cpp.o"
+  "CMakeFiles/roomnet_proto.dir/ssdp.cpp.o.d"
+  "CMakeFiles/roomnet_proto.dir/tls.cpp.o"
+  "CMakeFiles/roomnet_proto.dir/tls.cpp.o.d"
+  "CMakeFiles/roomnet_proto.dir/tplink.cpp.o"
+  "CMakeFiles/roomnet_proto.dir/tplink.cpp.o.d"
+  "CMakeFiles/roomnet_proto.dir/tuya.cpp.o"
+  "CMakeFiles/roomnet_proto.dir/tuya.cpp.o.d"
+  "libroomnet_proto.a"
+  "libroomnet_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roomnet_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

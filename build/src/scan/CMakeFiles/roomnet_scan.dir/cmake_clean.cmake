@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roomnet_scan.dir/portscan.cpp.o"
+  "CMakeFiles/roomnet_scan.dir/portscan.cpp.o.d"
+  "CMakeFiles/roomnet_scan.dir/vuln.cpp.o"
+  "CMakeFiles/roomnet_scan.dir/vuln.cpp.o.d"
+  "libroomnet_scan.a"
+  "libroomnet_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roomnet_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

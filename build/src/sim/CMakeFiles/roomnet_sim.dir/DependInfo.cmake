@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/roomnet_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/roomnet_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/host.cpp" "src/sim/CMakeFiles/roomnet_sim.dir/host.cpp.o" "gcc" "src/sim/CMakeFiles/roomnet_sim.dir/host.cpp.o.d"
+  "/root/repo/src/sim/mdns.cpp" "src/sim/CMakeFiles/roomnet_sim.dir/mdns.cpp.o" "gcc" "src/sim/CMakeFiles/roomnet_sim.dir/mdns.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/roomnet_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/roomnet_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/ssdp.cpp" "src/sim/CMakeFiles/roomnet_sim.dir/ssdp.cpp.o" "gcc" "src/sim/CMakeFiles/roomnet_sim.dir/ssdp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/roomnet_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/netcore/CMakeFiles/roomnet_netcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

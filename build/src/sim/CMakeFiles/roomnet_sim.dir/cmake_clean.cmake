@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roomnet_sim.dir/engine.cpp.o"
+  "CMakeFiles/roomnet_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/roomnet_sim.dir/host.cpp.o"
+  "CMakeFiles/roomnet_sim.dir/host.cpp.o.d"
+  "CMakeFiles/roomnet_sim.dir/mdns.cpp.o"
+  "CMakeFiles/roomnet_sim.dir/mdns.cpp.o.d"
+  "CMakeFiles/roomnet_sim.dir/network.cpp.o"
+  "CMakeFiles/roomnet_sim.dir/network.cpp.o.d"
+  "CMakeFiles/roomnet_sim.dir/ssdp.cpp.o"
+  "CMakeFiles/roomnet_sim.dir/ssdp.cpp.o.d"
+  "libroomnet_sim.a"
+  "libroomnet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roomnet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

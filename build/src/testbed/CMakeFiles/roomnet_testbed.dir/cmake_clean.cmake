@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roomnet_testbed.dir/catalog.cpp.o"
+  "CMakeFiles/roomnet_testbed.dir/catalog.cpp.o.d"
+  "CMakeFiles/roomnet_testbed.dir/device.cpp.o"
+  "CMakeFiles/roomnet_testbed.dir/device.cpp.o.d"
+  "CMakeFiles/roomnet_testbed.dir/lab.cpp.o"
+  "CMakeFiles/roomnet_testbed.dir/lab.cpp.o.d"
+  "CMakeFiles/roomnet_testbed.dir/profiles.cpp.o"
+  "CMakeFiles/roomnet_testbed.dir/profiles.cpp.o.d"
+  "libroomnet_testbed.a"
+  "libroomnet_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roomnet_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

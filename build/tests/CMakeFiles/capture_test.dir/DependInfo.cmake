@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/capture_test.cpp" "tests/CMakeFiles/capture_test.dir/capture_test.cpp.o" "gcc" "tests/CMakeFiles/capture_test.dir/capture_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/capture/CMakeFiles/roomnet_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/roomnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/roomnet_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/netcore/CMakeFiles/roomnet_netcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
