@@ -1,20 +1,84 @@
 // Shared helpers for the reproduction benches: each bench binary rebuilds
 // one table or figure from the paper and prints paper-vs-measured rows.
+//
+// Alongside the human-readable output, every bench that calls header()
+// writes a machine-readable `BENCH_<name>.json` at exit — name, wall_ms,
+// any scalars registered via bench::scalar(), and a snapshot of the global
+// telemetry registry — so the perf trajectory is trackable across PRs.
 #pragma once
 
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/roomnet.hpp"
+#include "telemetry/export.hpp"
 
 namespace roomnet::bench {
+
+namespace detail {
+inline std::string report_name;                                   // NOLINT
+inline std::chrono::steady_clock::time_point report_start;        // NOLINT
+inline std::vector<std::pair<std::string, double>> report_scalars;  // NOLINT
+
+inline std::string sanitize(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c)))
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    else if (!out.empty() && out.back() != '_')
+      out += '_';
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
+inline void write_report() {
+  if (report_name.empty()) return;
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - report_start)
+          .count();
+  const std::string path = "BENCH_" + report_name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\n  \"name\": \"%s\",\n  \"wall_ms\": %.3f,\n",
+               report_name.c_str(), wall_ms);
+  std::fprintf(f, "  \"scalars\": {");
+  bool first = true;
+  for (const auto& [key, value] : report_scalars) {
+    std::fprintf(f, "%s\n    \"%s\": %.10g", first ? "" : ",", key.c_str(),
+                 value);
+    first = false;
+  }
+  std::fprintf(f, "%s},\n", first ? "" : "\n  ");
+  const std::string telemetry =
+      telemetry::to_json(telemetry::Registry::global());
+  std::fprintf(f, "  \"telemetry\": %s}\n", telemetry.c_str());
+  std::fclose(f);
+  std::printf("\n[bench] wrote %s\n", path.c_str());
+}
+}  // namespace detail
+
+/// Registers one key result scalar for the BENCH_<name>.json report.
+inline void scalar(const std::string& key, double value) {
+  detail::report_scalars.emplace_back(key, value);
+}
 
 inline void header(const std::string& artifact, const std::string& title) {
   std::printf("==============================================================\n");
   std::printf("%s — %s\n", artifact.c_str(), title.c_str());
   std::printf("(roomnet reproduction; 'paper' columns quote IMC'23 values)\n");
   std::printf("==============================================================\n");
+  detail::report_name = detail::sanitize(artifact);
+  detail::report_start = std::chrono::steady_clock::now();
+  static const int registered = std::atexit(detail::write_report);
+  (void)registered;
 }
 
 /// Lab booted and idled for `idle` virtual time, with a streaming decoded

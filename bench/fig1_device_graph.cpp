@@ -47,5 +47,9 @@ int main() {
               "clusters present: %s\n",
               100.0 * static_cast<double>(nodes.size()) / 93.0,
               intra.size() >= 3 ? "yes" : "NO");
+
+  scalar("connected_devices", static_cast<double>(nodes.size()));
+  scalar("edges", static_cast<double>(graph.edges.size()));
+  scalar("inter_vendor_edges", static_cast<double>(inter));
   return 0;
 }

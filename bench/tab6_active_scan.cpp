@@ -75,5 +75,9 @@ int main() {
                 infer_service_from_port(ranked[i].second, false).c_str());
   std::printf("\nnote the wrong nmap-style guesses (e.g. 8009 'ajp13' is "
               "really Cast TLS) — the §3.5 correction problem.\n");
+
+  scalar("unique_open_tcp", static_cast<double>(unique_tcp.size()));
+  scalar("unique_open_udp", static_cast<double>(unique_udp.size()));
+  scalar("tcp_responders", static_cast<double>(tcp_responders));
   return 0;
 }

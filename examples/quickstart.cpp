@@ -2,29 +2,44 @@
 // idle local traffic from the AP vantage point, classify it, and print the
 // protocol mix and the device-to-device communication graph.
 //
-//   ./examples/quickstart [seed]
+//   ./examples/quickstart [seed] [telemetry_dir]
+//
+// With a telemetry_dir, the run records a span per stage and dumps
+// Prometheus-text metrics plus a Chrome-trace JSON (open trace.json in
+// chrome://tracing or https://ui.perfetto.dev) into that directory. The
+// printed tables are byte-identical with and without telemetry.
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 
 #include "core/roomnet.hpp"
+#include "telemetry/export.hpp"
 
 using namespace roomnet;
 
 int main(int argc, char** argv) {
   const std::uint64_t seed =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  const char* telemetry_dir = argc > 2 ? argv[2] : nullptr;
+  if (telemetry_dir != nullptr) telemetry::enable();
 
   // 1. Assemble the lab: router + 93 catalog devices + two phones.
+  std::optional<telemetry::ScopedSpan> span;
+  span.emplace("lab_boot");
   Lab lab(LabConfig{.seed = seed});
+  telemetry::Tracer::global().set_sim_clock(
+      [&lab] { return lab.loop().now(); });
   std::printf("lab: %zu devices on the switch (plus router and 2 phones)\n",
               lab.devices().size());
 
   // 2. Boot everything and let it idle for 30 virtual minutes.
   lab.start_all();
+  span.emplace("idle");
   lab.run_idle(SimTime::from_minutes(30));
   std::printf("capture: %zu frames recorded at the AP\n", lab.capture().size());
 
   // 3. Decode and classify.
+  span.emplace("classify");
   const auto decoded = lab.capture().decoded();
   const ProtocolUsage usage = protocol_usage(decoded);
   std::set<MacAddress> population;
@@ -42,6 +57,7 @@ int main(int argc, char** argv) {
   }
 
   // 4. Who talks to whom?
+  span.emplace("graph");
   const CommGraph graph = build_comm_graph(decoded, population);
   std::printf("\ndevice-to-device graph: %zu devices connected, %zu edges\n",
               graph.connected_nodes().size(), graph.edges.size());
@@ -57,7 +73,17 @@ int main(int argc, char** argv) {
   }
 
   // 5. Export pcaps any real tool can open.
+  span.emplace("pcap_export");
   const std::size_t files = lab.capture().write_pcap_dir("quickstart_pcaps");
   std::printf("\nwrote %zu pcap files to quickstart_pcaps/\n", files);
+
+  // 6. Dump the telemetry (metrics + trace) when asked.
+  span.reset();
+  telemetry::Tracer::global().set_sim_clock(nullptr);
+  if (telemetry_dir != nullptr) {
+    const std::size_t n = roomnet_telemetry_report(telemetry_dir);
+    std::fprintf(stderr, "telemetry: wrote %zu files to %s\n", n,
+                 telemetry_dir);
+  }
   return 0;
 }

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verify plus an ASan+UBSan test pass.
+#
+#   scripts/check.sh          # plain build + ctest, then sanitized build + ctest
+#   scripts/check.sh --fast   # plain build + ctest only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== tier-1: RelWithDebInfo build + ctest =="
+cmake -B build -S .
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "== skipped sanitizer pass (--fast) =="
+  exit 0
+fi
+
+echo "== sanitizers: ASan+UBSan build + ctest =="
+cmake -B build-san -S . -DROOMNET_SANITIZE="address;undefined" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-san -j "${JOBS}"
+ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir build-san --output-on-failure -j "${JOBS}"
+
+echo "== all checks passed =="

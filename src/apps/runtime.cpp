@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hpp"
+
 #include "analysis/identifiers.hpp"
 #include "proto/dns.hpp"
 #include "proto/http.hpp"
@@ -440,6 +442,17 @@ AppRunRecord AppRunner::run(const AppSpec& app, SimTime window) {
   for (const auto& uuid : harvest.uuids)
     harvest.note_access(record, SensitiveData::kDeviceUuid, uuid, "lan harvest",
                         true, app.android_version);
+
+  // Campaign progress counters (§3.2: 2,335 runs — the longest stage).
+  static telemetry::Counter& runs =
+      telemetry::Registry::global().counter("roomnet_apps_runs_total");
+  static telemetry::Counter& uploads =
+      telemetry::Registry::global().counter("roomnet_apps_uploads_total");
+  static telemetry::Counter& accesses =
+      telemetry::Registry::global().counter("roomnet_apps_accesses_total");
+  runs.inc();
+  uploads.inc(record.uploads.size());
+  accesses.inc(record.accesses.size());
   return record;
 }
 

@@ -2,10 +2,18 @@
 
 #include <filesystem>
 
+#include "telemetry/metrics.hpp"
+
 namespace roomnet {
 
 void CaptureSink::attach(Switch& net) {
+  static telemetry::Counter& frames_retained =
+      telemetry::Registry::global().counter("roomnet_capture_frames_retained");
+  static telemetry::Counter& bytes_retained =
+      telemetry::Registry::global().counter("roomnet_capture_bytes_retained");
   net.add_tap([this](SimTime at, BytesView frame) {
+    frames_retained.inc();
+    bytes_retained.inc(frame.size());
     records_.push_back({at, Bytes(frame.begin(), frame.end())});
   });
 }

@@ -1,16 +1,74 @@
 #include "core/pipeline.hpp"
 
+#include <chrono>
+#include <optional>
+
 #include "capture/filter.hpp"
 #include "capture/flow.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace roomnet {
 
-Pipeline::Pipeline(PipelineConfig config) : config_(config) {
+namespace {
+
+/// One pipeline stage: a trace span (when tracing is on) plus always-on
+/// wall/sim duration gauges under `roomnet_pipeline_stage_*{stage=...}`.
+class StageTimer {
+ public:
+  StageTimer(const char* stage, const EventLoop& loop)
+      : stage_(stage),
+        loop_(&loop),
+        span_(stage, "pipeline"),
+        wall_start_(std::chrono::steady_clock::now()),
+        sim_start_(loop.now()) {}
+
+  ~StageTimer() {
+    const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - wall_start_)
+                             .count();
+    auto& registry = telemetry::Registry::global();
+    registry.gauge("roomnet_pipeline_stage_wall_ms", {{"stage", stage_}})
+        .set(wall_ms);
+    registry
+        .gauge("roomnet_pipeline_stage_sim_seconds", {{"stage", stage_}})
+        .set(static_cast<std::int64_t>((loop_->now() - sim_start_).seconds()));
+  }
+
+ private:
+  const char* stage_;
+  const EventLoop* loop_;
+  telemetry::ScopedSpan span_;
+  std::chrono::steady_clock::time_point wall_start_;
+  SimTime sim_start_;
+};
+
+/// Points the global tracer's sim clock at this run's event loop for the
+/// duration of run(); cleared on exit so spans never read a dead lab.
+class SimClockGuard {
+ public:
+  explicit SimClockGuard(EventLoop& loop) {
+    telemetry::Tracer::global().set_sim_clock([&loop] { return loop.now(); });
+  }
+  ~SimClockGuard() { telemetry::Tracer::global().set_sim_clock(nullptr); }
+};
+
+}  // namespace
+
+Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
   lab_ = std::make_unique<Lab>(
       LabConfig{.seed = config_.seed, .record_frames = false});
 }
 
 PipelineResults Pipeline::run() {
+  const bool telemetry_run = !config_.telemetry_out.empty();
+  if (telemetry_run) telemetry::enable();
+  telemetry::Registry::global().counter("roomnet_pipeline_runs_total").inc();
+  SimClockGuard sim_clock(lab_->loop());
+  std::optional<telemetry::ScopedSpan> pipeline_span;
+  pipeline_span.emplace("pipeline", "pipeline");
+
   PipelineResults results;
   for (const auto& device : lab_->devices())
     results.population.insert(device->mac());
@@ -32,22 +90,35 @@ PipelineResults Pipeline::run() {
       });
 
   // --- Stage 1: idle capture (§3.1) -----------------------------------
-  lab_->start_all();
-  lab_->run_idle(config_.idle_duration);
+  {
+    StageTimer stage("lab_boot", lab_->loop());
+    lab_->start_all();
+  }
+  {
+    StageTimer stage("idle", lab_->loop());
+    lab_->run_idle(config_.idle_duration);
+  }
 
   // --- Stage 2: interactions (§3.1) ------------------------------------
-  if (config_.interactions > 0) lab_->run_interactions(config_.interactions);
+  if (config_.interactions > 0) {
+    StageTimer stage("interactions", lab_->loop());
+    lab_->run_interactions(config_.interactions);
+  }
 
   // --- Stage 3: passive analyses (§4.1, §5.1, C.2, D.2) ----------------
-  results.usage = protocol_usage(decoded);
-  results.graph = build_comm_graph(decoded, results.population);
-  results.exposure = analyze_exposure(decoded);
-  results.crossval = cross_validate(flow_table.flows(), all_packets);
-  results.responses = correlate_responses(decoded);
-  results.flows = flow_table.flows().size();
+  {
+    StageTimer stage("classify", lab_->loop());
+    results.usage = protocol_usage(decoded);
+    results.graph = build_comm_graph(decoded, results.population);
+    results.exposure = analyze_exposure(decoded);
+    results.crossval = cross_validate(flow_table.flows(), all_packets);
+    results.responses = correlate_responses(decoded);
+    results.flows = flow_table.flows().size();
+  }
 
   // --- Stage 4: active scan + vulnerability audit (§4.2, §5.2) ----------
   if (config_.run_scan) {
+    StageTimer stage("scan", lab_->loop());
     Host scan_box(lab_->network(), MacAddress::from_u64(0x02a0fc0000aaull),
                   "scanbox");
     scan_box.set_static_ip(Ipv4Address(192, 168, 10, 251));
@@ -71,6 +142,7 @@ PipelineResults Pipeline::run() {
 
   // --- Stage 5: app campaign (§3.2, §6.1, §6.2) -------------------------
   if (config_.app_sample > 0) {
+    StageTimer stage("apps", lab_->loop());
     Rng app_rng = lab_->rng().fork("app-dataset");
     const AppDataset dataset = generate_app_dataset(app_rng);
     AppRunner runner(*lab_);
@@ -87,10 +159,14 @@ PipelineResults Pipeline::run() {
 
   // --- Stage 6: crowdsourced entropy analysis (§6.3) --------------------
   if (config_.run_crowd) {
+    StageTimer stage("crowd", lab_->loop());
     Rng crowd_rng(config_.seed ^ 0xc0ffee);
     const InspectorDataset dataset = generate_inspector_dataset(crowd_rng);
     results.fingerprints = fingerprint_households(dataset);
   }
+
+  pipeline_span.reset();  // close the whole-run span before exporting
+  if (telemetry_run) roomnet_telemetry_report(config_.telemetry_out);
   return results;
 }
 

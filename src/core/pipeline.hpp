@@ -6,6 +6,7 @@
 
 #include <memory>
 #include <set>
+#include <string>
 
 #include "analysis/exposure.hpp"
 #include "analysis/overview.hpp"
@@ -21,6 +22,11 @@ namespace roomnet {
 
 struct PipelineConfig {
   std::uint64_t seed = 42;
+  /// When non-empty: enables tracing + timing for this run and dumps
+  /// `metrics.prom`, `metrics.json`, and `trace.json` into this directory
+  /// after the last stage. Telemetry never perturbs results — a run with
+  /// telemetry enabled produces byte-identical tables to one without.
+  std::string telemetry_out;
   /// Idle-capture window (the paper used 5 days; protocol prevalence
   /// saturates after every periodic behavior has fired at least once —
   /// 6 h covers the slowest 2.5 h cadence with margin).

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hpp"
+
 #include "proto/coap.hpp"
 #include "proto/dhcp.hpp"
 #include "proto/dns.hpp"
@@ -143,9 +145,25 @@ Bytes PortScanner::udp_probe_payload(std::uint16_t port) {
   }
 }
 
+namespace {
+struct ScanMetrics {
+  telemetry::Counter& targets =
+      telemetry::Registry::global().counter("roomnet_scan_targets_total");
+  telemetry::Counter& probes =
+      telemetry::Registry::global().counter("roomnet_scan_probes_sent_total");
+  telemetry::Counter& responses = telemetry::Registry::global().counter(
+      "roomnet_scan_responses_total");
+};
+ScanMetrics& scan_metrics() {
+  static ScanMetrics metrics;
+  return metrics;
+}
+}  // namespace
+
 void PortScanner::start(const std::vector<ScanTarget>& targets) {
   reports_.clear();
   by_ip_.clear();
+  scan_metrics().targets.inc(targets.size());
   EventLoop& loop = scanner_->loop();
   double t = 0.5;  // settle ARP first
   const double dt = config_.probe_spacing_s;
@@ -161,18 +179,21 @@ void PortScanner::start(const std::vector<ScanTarget>& targets) {
   for (const auto& target : targets) {
     for (const std::uint16_t port : config_.tcp_ports) {
       loop.schedule_in(SimTime::from_seconds(t += dt), [this, target, port] {
+        scan_metrics().probes.inc();
         scanner_->send_raw_tcp(target.ip, scanner_->ephemeral_port(), port,
                                TcpFlags{.syn = true}, 1, 0);
       });
     }
     for (const std::uint16_t port : config_.udp_ports) {
       loop.schedule_in(SimTime::from_seconds(t += dt), [this, target, port] {
+        scan_metrics().probes.inc();
         scanner_->send_udp(target.ip, scanner_->ephemeral_port(), port,
                            udp_probe_payload(port));
       });
     }
     for (const std::uint8_t protocol : config_.ip_protocols) {
       loop.schedule_in(SimTime::from_seconds(t += dt), [this, target, protocol] {
+        scan_metrics().probes.inc();
         scanner_->send_raw_ip(target.ip, protocol, bytes_of("ipproto-probe"));
       });
     }
@@ -189,6 +210,7 @@ void PortScanner::on_packet(const Packet& packet) {
   if (packet.ipv4->dst != scanner_->ip()) return;
   const auto it = by_ip_.find(packet.ipv4->src);
   if (it == by_ip_.end()) return;
+  scan_metrics().responses.inc();
   PortScanReport& report = reports_[it->second];
 
   if (packet.tcp) {

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "netcore/time.hpp"
@@ -33,6 +34,12 @@ class EventLoop {
   /// Drains every pending one-shot event regardless of time (periodic timers
   /// do not count: they would never drain).
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  /// Cancelled periodic handles whose queue entry has not been reaped yet.
+  /// Bounded by the number of live periodic timers: each entry is erased
+  /// when its event is dropped from the queue.
+  [[nodiscard]] std::size_t cancelled_pending() const {
+    return cancelled_.size();
+  }
 
  private:
   struct Event {
@@ -53,7 +60,7 @@ class EventLoop {
   SimTime now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_periodic_ = 1;
-  std::vector<std::uint64_t> cancelled_;
+  std::unordered_set<std::uint64_t> cancelled_;
 };
 
 }  // namespace roomnet

@@ -2,7 +2,58 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hpp"
+
 namespace roomnet {
+
+namespace {
+// Coarse wire-level protocol bucket for the per-protocol frame counters.
+// (Full application-protocol labeling lives in roomnet_classify; the switch
+// only sees one decode and must stay cheap.)
+enum class WireProto : std::size_t {
+  kArp, kEapol, kLlc, kIcmp, kIcmpv6, kIgmp, kUdp, kTcp, kIpOther, kOther,
+  kCount,
+};
+
+constexpr const char* kWireProtoNames[] = {
+    "arp", "eapol", "llc", "icmp", "icmpv6", "igmp",
+    "udp", "tcp",   "ip-other", "other",
+};
+
+WireProto wire_proto(const Packet& packet) {
+  if (packet.arp) return WireProto::kArp;
+  if (packet.eapol) return WireProto::kEapol;
+  if (packet.llc) return WireProto::kLlc;
+  if (packet.icmp) return WireProto::kIcmp;
+  if (packet.icmpv6) return WireProto::kIcmpv6;
+  if (packet.igmp) return WireProto::kIgmp;
+  if (packet.udp) return WireProto::kUdp;
+  if (packet.tcp) return WireProto::kTcp;
+  if (packet.has_ip()) return WireProto::kIpOther;
+  return WireProto::kOther;
+}
+
+struct SwitchMetrics {
+  telemetry::Counter& frames =
+      telemetry::Registry::global().counter("roomnet_switch_frames_total");
+  telemetry::Counter& bytes =
+      telemetry::Registry::global().counter("roomnet_switch_bytes_total");
+  telemetry::Counter* per_proto[static_cast<std::size_t>(WireProto::kCount)];
+
+  SwitchMetrics() {
+    for (std::size_t i = 0; i < static_cast<std::size_t>(WireProto::kCount);
+         ++i) {
+      per_proto[i] = &telemetry::Registry::global().counter(
+          "roomnet_switch_proto_frames_total",
+          {{"proto", kWireProtoNames[i]}});
+    }
+  }
+};
+SwitchMetrics& switch_metrics() {
+  static SwitchMetrics metrics;
+  return metrics;
+}
+}  // namespace
 
 void Switch::attach(NetworkNode& node) {
   nodes_.push_back(&node);
@@ -17,6 +68,9 @@ void Switch::detach(const NetworkNode& node) {
 void Switch::transmit(BytesView frame, const NetworkNode* sender) {
   if (frame.size() < 14) return;  // runt
   ++frames_;
+  SwitchMetrics& metrics = switch_metrics();
+  metrics.frames.inc();
+  metrics.bytes.inc(frame.size());
   for (const auto& tap : taps_) tap(loop_->now(), frame);
 
   // One event per frame; the fan-out happens inside deliver().
@@ -29,6 +83,9 @@ void Switch::transmit(BytesView frame, const NetworkNode* sender) {
 void Switch::deliver(const Bytes& frame, const NetworkNode* sender) {
   const auto packet = decode_frame(BytesView(frame));
   if (!packet) return;
+  switch_metrics()
+      .per_proto[static_cast<std::size_t>(wire_proto(*packet))]
+      ->inc();
   for (const auto& tap : packet_taps_)
     tap(loop_->now(), *packet, BytesView(frame));
 

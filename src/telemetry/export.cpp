@@ -1,0 +1,209 @@
+#include "telemetry/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace roomnet::telemetry {
+
+namespace {
+
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string prom_label_block(const Labels& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"" + v + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// `le` label appended to existing labels for histogram buckets.
+std::string prom_bucket_labels(const Labels& labels, const std::string& le) {
+  Labels with = labels;
+  with.emplace_back("le", le);
+  return prom_label_block(with);
+}
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+std::string json_labels(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + escape_json(k) + "\":\"" + escape_json(v) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string to_prometheus(const Registry& registry) {
+  std::string out;
+  std::string last_typed;  // emit each family's # TYPE line once
+  for (const MetricSnapshot& m : registry.snapshot()) {
+    if (m.name != last_typed) {
+      out += "# TYPE " + m.name + " " + kind_name(m.kind) + "\n";
+      last_typed = m.name;
+    }
+    char buf[64];
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", m.counter);
+        out += m.name + prom_label_block(m.labels) + buf;
+        break;
+      case MetricKind::kGauge:
+        std::snprintf(buf, sizeof(buf), " %" PRId64 "\n", m.gauge);
+        out += m.name + prom_label_block(m.labels) + buf;
+        break;
+      case MetricKind::kHistogram: {
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < m.buckets.size(); ++i) {
+          cumulative += m.buckets[i];
+          std::snprintf(buf, sizeof(buf), "%" PRIu64,
+                        Histogram::bucket_upper_bound(i));
+          const std::string le =
+              i + 1 == m.buckets.size() ? "+Inf" : std::string(buf);
+          std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", cumulative);
+          out += m.name + "_bucket" + prom_bucket_labels(m.labels, le) + buf;
+        }
+        std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", m.sum);
+        out += m.name + "_sum" + prom_label_block(m.labels) + buf;
+        std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", m.count);
+        out += m.name + "_count" + prom_label_block(m.labels) + buf;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const Registry& registry) {
+  std::string out = "[";
+  bool first = true;
+  char buf[64];
+  for (const MetricSnapshot& m : registry.snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"name\":\"" + escape_json(m.name) + "\",\"labels\":" +
+           json_labels(m.labels) + ",\"kind\":\"" + kind_name(m.kind) + "\"";
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        std::snprintf(buf, sizeof(buf), ",\"value\":%" PRIu64, m.counter);
+        out += buf;
+        break;
+      case MetricKind::kGauge:
+        std::snprintf(buf, sizeof(buf), ",\"value\":%" PRId64, m.gauge);
+        out += buf;
+        break;
+      case MetricKind::kHistogram: {
+        std::snprintf(buf, sizeof(buf), ",\"count\":%" PRIu64 ",\"sum\":%" PRIu64,
+                      m.count, m.sum);
+        out += buf;
+        out += ",\"buckets\":[";
+        for (std::size_t i = 0; i < m.buckets.size(); ++i) {
+          std::snprintf(buf, sizeof(buf), "%s%" PRIu64, i ? "," : "",
+                        m.buckets[i]);
+          out += buf;
+        }
+        out += "]";
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+std::string trace_to_chrome_json(const Tracer& tracer) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[256];
+  for (const TraceEvent& e : tracer.snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"name\":\"" + escape_json(e.name) + "\",\"cat\":\"" +
+           escape_json(e.category) + "\",\"ph\":\"" + e.phase +
+           "\",\"pid\":1,\"tid\":1";
+    if (e.phase == 'X') {
+      std::snprintf(buf, sizeof(buf),
+                    ",\"ts\":%" PRIu64 ",\"dur\":%" PRIu64, e.wall_start_us,
+                    e.wall_dur_us);
+      out += buf;
+    } else {
+      std::snprintf(buf, sizeof(buf), ",\"ts\":%" PRIu64 ",\"s\":\"t\"",
+                    e.wall_start_us);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  ",\"args\":{\"sim_start_us\":%" PRId64
+                  ",\"sim_end_us\":%" PRId64 "}}",
+                  e.sim_start_us, e.sim_end_us);
+    out += buf;
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+}  // namespace roomnet::telemetry
+
+namespace roomnet {
+
+std::size_t roomnet_telemetry_report(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return 0;
+  const auto write = [&](const std::string& file, const std::string& content) {
+    std::ofstream out(dir + "/" + file, std::ios::binary);
+    if (!out) return false;
+    out << content;
+    return out.good();
+  };
+  std::size_t written = 0;
+  written += write("metrics.prom",
+                   telemetry::to_prometheus(telemetry::Registry::global()));
+  written +=
+      write("metrics.json", telemetry::to_json(telemetry::Registry::global()));
+  written += write("trace.json",
+                   telemetry::trace_to_chrome_json(telemetry::Tracer::global()));
+  return written;
+}
+
+}  // namespace roomnet

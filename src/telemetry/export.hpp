@@ -1,0 +1,34 @@
+// Exporters for the telemetry substrate: Prometheus text exposition format,
+// a JSON mirror of the same snapshot, and Chrome trace_event JSON for the
+// tracer (open in chrome://tracing or https://ui.perfetto.dev).
+#pragma once
+
+#include <string>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace roomnet::telemetry {
+
+/// Prometheus text format: `# TYPE` lines plus one sample per metric;
+/// histograms expand to cumulative `_bucket{le=...}` / `_sum` / `_count`.
+std::string to_prometheus(const Registry& registry);
+
+/// JSON array of `{name, labels, kind, value...}` objects (histograms carry
+/// per-bucket counts, sum, and count).
+std::string to_json(const Registry& registry);
+
+/// Chrome trace_event format: `{"traceEvents": [...]}`. Wall-clock is the
+/// primary axis; each event's args carry the SimTime window.
+std::string trace_to_chrome_json(const Tracer& tracer);
+
+}  // namespace roomnet::telemetry
+
+namespace roomnet {
+
+/// Dumps the global registry and tracer into `dir` as `metrics.prom`,
+/// `metrics.json`, and `trace.json`. Returns the number of files written
+/// (3 on success, 0 if the directory could not be created).
+std::size_t roomnet_telemetry_report(const std::string& dir);
+
+}  // namespace roomnet

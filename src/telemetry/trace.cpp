@@ -1,0 +1,124 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+
+namespace roomnet::telemetry {
+
+void Tracer::enable(std::size_t capacity) {
+  std::lock_guard lock(mutex_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.clear();
+  ring_.reserve(std::min<std::size_t>(capacity_, 4096));
+  recorded_ = 0;
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::set_sim_clock(std::function<SimTime()> clock) {
+  std::lock_guard lock(mutex_);
+  sim_clock_ = std::move(clock);
+}
+
+std::uint64_t Tracer::wall_now_us() const {
+  const auto d = std::chrono::steady_clock::now() - epoch_;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+}
+
+SimTime Tracer::sim_now() const {
+  std::lock_guard lock(mutex_);
+  return sim_clock_ ? sim_clock_() : SimTime{};
+}
+
+void Tracer::push(TraceEvent&& event) {
+  std::lock_guard lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[recorded_ % capacity_] = std::move(event);
+  }
+  ++recorded_;
+}
+
+void Tracer::record_complete(const std::string& name,
+                             const std::string& category,
+                             std::uint64_t wall_start_us,
+                             std::uint64_t wall_dur_us, SimTime sim_start,
+                             SimTime sim_end) {
+  if (!enabled()) return;
+  push(TraceEvent{.name = name,
+                  .category = category,
+                  .phase = 'X',
+                  .wall_start_us = wall_start_us,
+                  .wall_dur_us = wall_dur_us,
+                  .sim_start_us = sim_start.us(),
+                  .sim_end_us = sim_end.us()});
+}
+
+void Tracer::record_instant(const std::string& name,
+                            const std::string& category) {
+  if (!enabled()) return;
+  const std::uint64_t at = wall_now_us();
+  const SimTime sim = sim_now();
+  push(TraceEvent{.name = name,
+                  .category = category,
+                  .phase = 'i',
+                  .wall_start_us = at,
+                  .sim_start_us = sim.us(),
+                  .sim_end_us = sim.us()});
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::lock_guard lock(mutex_);
+  if (recorded_ <= ring_.size()) return ring_;
+  // The ring wrapped: oldest surviving event sits at the write cursor.
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  const std::size_t cursor = recorded_ % capacity_;
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(cursor + i) % capacity_]);
+  return out;
+}
+
+std::uint64_t Tracer::recorded() const {
+  std::lock_guard lock(mutex_);
+  return recorded_;
+}
+
+std::size_t Tracer::capacity() const {
+  std::lock_guard lock(mutex_);
+  return capacity_;
+}
+
+Tracer& Tracer::global() {
+  static Tracer* instance = new Tracer;  // leaked: outlives all users
+  return *instance;
+}
+
+ScopedSpan::ScopedSpan(std::string name, std::string category, Tracer& tracer)
+    : name_(std::move(name)), category_(std::move(category)) {
+  if (!tracer.enabled()) return;
+  tracer_ = &tracer;
+  wall_start_us_ = tracer.wall_now_us();
+  sim_start_ = tracer.sim_now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr) return;
+  const std::uint64_t end = tracer_->wall_now_us();
+  tracer_->record_complete(name_, category_, wall_start_us_,
+                           end - wall_start_us_, sim_start_,
+                           tracer_->sim_now());
+}
+
+void enable(std::size_t trace_capacity) {
+  Tracer::global().enable(trace_capacity);
+}
+
+void disable() { Tracer::global().disable(); }
+
+bool enabled() { return Tracer::global().enabled(); }
+
+}  // namespace roomnet::telemetry

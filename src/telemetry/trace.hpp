@@ -1,0 +1,105 @@
+// Span-based tracer. Trace events carry both wall-clock time (for real
+// performance work) and SimTime (to line spans up with virtual-time
+// behavior). Events land in a fixed-capacity ring buffer — tracing a long
+// run keeps the most recent window instead of growing without bound — and
+// export as Chrome trace_event JSON loadable in chrome://tracing / Perfetto.
+//
+// Tracing is off by default and costs one relaxed atomic load per
+// ScopedSpan when disabled, preserving the simulator's "you only pay for
+// what you turn on" stance. Enabling tracing never perturbs simulation
+// results: the sim never reads the wall clock.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "netcore/time.hpp"
+
+namespace roomnet::telemetry {
+
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'X';            // 'X' complete span, 'i' instant
+  std::uint64_t wall_start_us = 0;  // since Tracer::enable()
+  std::uint64_t wall_dur_us = 0;    // complete spans only
+  std::int64_t sim_start_us = 0;    // SimTime at span begin
+  std::int64_t sim_end_us = 0;      // SimTime at span end
+};
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  /// Starts recording into a fresh ring buffer of `capacity` events and
+  /// re-zeroes the wall-clock epoch.
+  void enable(std::size_t capacity = kDefaultCapacity);
+  void disable();
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Source of virtual time stamped onto events (e.g. the lab's event
+  /// loop). Cleared with nullptr; events then carry sim time 0.
+  void set_sim_clock(std::function<SimTime()> clock);
+
+  void record_complete(const std::string& name, const std::string& category,
+                       std::uint64_t wall_start_us, std::uint64_t wall_dur_us,
+                       SimTime sim_start, SimTime sim_end);
+  void record_instant(const std::string& name, const std::string& category);
+
+  /// Microseconds of wall clock since enable().
+  [[nodiscard]] std::uint64_t wall_now_us() const;
+  [[nodiscard]] SimTime sim_now() const;
+
+  /// Events in recording order (oldest surviving first). The ring keeps the
+  /// newest `capacity` events; older ones are overwritten.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+  /// Total events ever recorded since enable() (>= snapshot().size()).
+  [[nodiscard]] std::uint64_t recorded() const;
+  [[nodiscard]] std::size_t capacity() const;
+
+  static Tracer& global();
+
+ private:
+  void push(TraceEvent&& event);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::uint64_t recorded_ = 0;
+  std::chrono::steady_clock::time_point epoch_{};
+  std::function<SimTime()> sim_clock_;
+};
+
+/// RAII span: records one complete trace event from construction to
+/// destruction. Near-zero cost when the tracer is disabled.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string name, std::string category = "roomnet",
+                      Tracer& tracer = Tracer::global());
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_ = nullptr;  // null when tracing was off at construction
+  std::string name_;
+  std::string category_;
+  std::uint64_t wall_start_us_ = 0;
+  SimTime sim_start_;
+};
+
+/// Master switch for the costly instrumentation (tracing + per-callback
+/// wall-clock timing). Cheap counters stay on unconditionally.
+void enable(std::size_t trace_capacity = Tracer::kDefaultCapacity);
+void disable();
+[[nodiscard]] bool enabled();
+
+}  // namespace roomnet::telemetry

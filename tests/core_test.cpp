@@ -1,7 +1,14 @@
 // End-to-end pipeline test: one (reduced-scale) run of the full study.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
 #include "core/roomnet.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace roomnet {
 namespace {
@@ -100,6 +107,73 @@ TEST(PipelineDeterminism, SameSeedSameHeadlineNumbers) {
   EXPECT_EQ(r1.local_packets, r2.local_packets);
   EXPECT_EQ(r1.flows, r2.flows);
   EXPECT_EQ(r1.graph.edges.size(), r2.graph.edges.size());
+}
+
+TEST(PipelineTelemetry, PopulatesStageMetricsWithoutChangingResults) {
+  PipelineConfig config;
+  config.idle_duration = SimTime::from_minutes(10);
+  config.interactions = 20;
+  config.app_sample = 5;
+  config.run_scan = false;
+  config.run_crowd = true;
+
+  // Baseline run with telemetry off, then the same config with telemetry on.
+  Pipeline plain(config);
+  const auto r1 = plain.run();
+
+  const std::filesystem::path out_dir = "telemetry_core_test_out";
+  std::filesystem::remove_all(out_dir);
+  PipelineConfig instrumented = config;
+  instrumented.telemetry_out = out_dir.string();
+  Pipeline traced(instrumented);
+  const auto r2 = traced.run();
+  telemetry::disable();
+
+  // Determinism guard: telemetry must not perturb the study's result tables.
+  EXPECT_EQ(r1.local_packets, r2.local_packets);
+  EXPECT_EQ(r1.flows, r2.flows);
+  EXPECT_EQ(r1.population, r2.population);
+  EXPECT_EQ(r1.graph.edges.size(), r2.graph.edges.size());
+  EXPECT_EQ(r1.usage.all_labels(), r2.usage.all_labels());
+  EXPECT_EQ(r1.crossval.total, r2.crossval.total);
+  EXPECT_EQ(r1.app_stats.total_apps, r2.app_stats.total_apps);
+  EXPECT_EQ(r1.exfiltration.size(), r2.exfiltration.size());
+  EXPECT_EQ(r1.fingerprints.rows.size(), r2.fingerprints.rows.size());
+
+  // Stage metrics are populated for every stage that ran.
+  auto& registry = telemetry::Registry::global();
+  for (const char* stage :
+       {"lab_boot", "idle", "interactions", "classify", "apps", "crowd"}) {
+    EXPECT_GE(registry
+                  .gauge("roomnet_pipeline_stage_wall_ms", {{"stage", stage}})
+                  .value(),
+              0)
+        << stage;
+  }
+  EXPECT_EQ(registry
+                .gauge("roomnet_pipeline_stage_sim_seconds", {{"stage", "idle"}})
+                .value(),
+            600);  // exactly the configured 10 virtual minutes
+  EXPECT_GT(registry.counter("roomnet_sim_events_fired").value(), 0u);
+  EXPECT_GT(registry.counter("roomnet_switch_frames_total").value(), 0u);
+  EXPECT_GT(registry.counter("roomnet_switch_bytes_total").value(), 0u);
+  EXPECT_GE(registry.counter("roomnet_pipeline_runs_total").value(), 2u);
+
+  // The report landed on disk and the trace carries one span per stage.
+  EXPECT_TRUE(std::filesystem::exists(out_dir / "metrics.prom"));
+  EXPECT_TRUE(std::filesystem::exists(out_dir / "metrics.json"));
+  ASSERT_TRUE(std::filesystem::exists(out_dir / "trace.json"));
+  std::ifstream trace_file(out_dir / "trace.json");
+  std::stringstream trace;
+  trace << trace_file.rdbuf();
+  for (const char* stage :
+       {"pipeline", "lab_boot", "idle", "interactions", "classify", "apps",
+        "crowd"}) {
+    EXPECT_NE(trace.str().find("\"name\":\"" + std::string(stage) + "\""),
+              std::string::npos)
+        << stage;
+  }
+  std::filesystem::remove_all(out_dir);
 }
 
 }  // namespace

@@ -68,6 +68,27 @@ TEST(EventLoop, PeriodicFiresRepeatedlyUntilCancelled) {
   EXPECT_EQ(count, 5);
 }
 
+TEST(EventLoop, CancelledPeriodicBookkeepingIsCompacted) {
+  // Regression: cancel_periodic used to accumulate cancelled handles forever;
+  // the set must shrink back to empty once the dropped events are reached.
+  EventLoop loop;
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto handle = loop.schedule_periodic(
+        SimTime::from_ms(1), SimTime::from_ms(5), [&] { ++fired; });
+    loop.run_until(loop.now() + SimTime::from_ms(2));  // fires exactly once
+    loop.cancel_periodic(handle);
+  }
+  EXPECT_EQ(fired, 100);
+  // Steady state: entries are erased as the loop passes their drop points, so
+  // only the last few cancellations are still tracked — not all 100.
+  EXPECT_LE(loop.cancelled_pending(), 4u);
+  loop.run_until(loop.now() + SimTime::from_seconds(1));
+  EXPECT_EQ(fired, 100);                    // none fire after cancellation
+  EXPECT_EQ(loop.cancelled_pending(), 0u);  // bookkeeping fully compacted
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
 TEST(EventLoop, EventsScheduledDuringRunAreExecuted) {
   EventLoop loop;
   bool inner = false;

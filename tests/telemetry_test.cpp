@@ -1,0 +1,233 @@
+// Tests for roomnet::telemetry: counter/gauge/histogram semantics, labeled
+// families, log-2 bucket boundaries, tracer ring-buffer wraparound, and
+// exporter golden strings.
+#include <gtest/gtest.h>
+
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace roomnet::telemetry {
+namespace {
+
+// ----------------------------------------------------------------- Counter
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+// ------------------------------------------------------------------- Gauge
+
+TEST(Gauge, SetAddAndHighWater) {
+  Gauge g;
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.record_max(5);
+  EXPECT_EQ(g.value(), 7);  // 5 < 7: high-water unchanged
+  g.record_max(19);
+  EXPECT_EQ(g.value(), 19);
+}
+
+// --------------------------------------------------------------- Histogram
+
+TEST(Histogram, BucketBoundariesAreLog2) {
+  // Bucket i spans [2^(i-1), 2^i): 0→b0, 1→b1, 2..3→b2, 4..7→b3, …
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(Histogram::bucket_index(7), 3u);
+  EXPECT_EQ(Histogram::bucket_index(8), 4u);
+  EXPECT_EQ(Histogram::bucket_index(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_index(1024), 11u);
+  // Saturation into the last bucket.
+  EXPECT_EQ(Histogram::bucket_index(~0ull), Histogram::kBuckets - 1);
+  // Upper bounds are 2^i - 1.
+  EXPECT_EQ(Histogram::bucket_upper_bound(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(3), 7u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(11), 2047u);
+}
+
+TEST(Histogram, ObserveTracksCountSumAndBuckets) {
+  Histogram h;
+  h.observe(0);
+  h.observe(3);
+  h.observe(3);
+  h.observe(900);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 906u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(10), 1u);  // 900 ∈ [512, 1024)
+  EXPECT_EQ(h.bucket(5), 0u);
+}
+
+// ---------------------------------------------------------------- Registry
+
+TEST(Registry, LabelFamiliesAreDistinctAndStable) {
+  Registry r;
+  Counter& plain = r.counter("roomnet_test_frames_total");
+  Counter& udp = r.counter("roomnet_test_frames_total", {{"proto", "udp"}});
+  Counter& tcp = r.counter("roomnet_test_frames_total", {{"proto", "tcp"}});
+  EXPECT_NE(&plain, &udp);
+  EXPECT_NE(&udp, &tcp);
+  udp.inc(5);
+  // The same (name, labels) pair resolves to the same instance — and label
+  // order does not matter.
+  EXPECT_EQ(
+      &r.counter("roomnet_test_frames_total", {{"proto", "udp"}}), &udp);
+  Counter& multi =
+      r.counter("roomnet_test_multi", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&r.counter("roomnet_test_multi", {{"a", "1"}, {"b", "2"}}),
+            &multi);
+  EXPECT_EQ(udp.value(), 5u);
+}
+
+TEST(Registry, SnapshotIsDeterministicallyOrdered) {
+  Registry r;
+  r.counter("roomnet_b").inc();
+  r.counter("roomnet_a", {{"x", "2"}}).inc();
+  r.counter("roomnet_a", {{"x", "1"}}).inc();
+  r.gauge("roomnet_c").set(-7);
+  const auto snap = r.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap[0].name, "roomnet_a");
+  EXPECT_EQ(snap[0].labels, (Labels{{"x", "1"}}));
+  EXPECT_EQ(snap[1].labels, (Labels{{"x", "2"}}));
+  EXPECT_EQ(snap[2].name, "roomnet_b");
+  EXPECT_EQ(snap[3].name, "roomnet_c");
+  EXPECT_EQ(snap[3].gauge, -7);
+}
+
+TEST(Registry, ResetAllZeroesEverything) {
+  Registry r;
+  r.counter("c").inc(9);
+  r.gauge("g").set(9);
+  r.histogram("h").observe(9);
+  r.reset_all();
+  EXPECT_EQ(r.counter("c").value(), 0u);
+  EXPECT_EQ(r.gauge("g").value(), 0);
+  EXPECT_EQ(r.histogram("h").count(), 0u);
+}
+
+// --------------------------------------------------------------- Exporters
+
+TEST(Exporters, PrometheusGoldenString) {
+  Registry r;
+  r.counter("roomnet_test_frames_total").inc(3);
+  r.counter("roomnet_test_frames_total", {{"proto", "udp"}}).inc(2);
+  r.gauge("roomnet_test_queue_depth").set(17);
+  const std::string expected =
+      "# TYPE roomnet_test_frames_total counter\n"
+      "roomnet_test_frames_total 3\n"
+      "roomnet_test_frames_total{proto=\"udp\"} 2\n"
+      "# TYPE roomnet_test_queue_depth gauge\n"
+      "roomnet_test_queue_depth 17\n";
+  EXPECT_EQ(to_prometheus(r), expected);
+}
+
+TEST(Exporters, PrometheusHistogramIsCumulative) {
+  Registry r;
+  Histogram& h = r.histogram("roomnet_test_latency_us");
+  h.observe(0);
+  h.observe(3);
+  h.observe(3);
+  const std::string out = to_prometheus(r);
+  EXPECT_NE(out.find("# TYPE roomnet_test_latency_us histogram\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("roomnet_test_latency_us_bucket{le=\"0\"} 1\n"),
+            std::string::npos);
+  // Bucket le="1" is cumulative: still only the single zero observation.
+  EXPECT_NE(out.find("roomnet_test_latency_us_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("roomnet_test_latency_us_bucket{le=\"3\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("roomnet_test_latency_us_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("roomnet_test_latency_us_sum 6\n"), std::string::npos);
+  EXPECT_NE(out.find("roomnet_test_latency_us_count 3\n"), std::string::npos);
+}
+
+TEST(Exporters, JsonGoldenString) {
+  Registry r;
+  r.counter("roomnet_test_total", {{"proto", "udp"}}).inc(2);
+  const std::string expected =
+      "[\n"
+      "  {\"name\":\"roomnet_test_total\",\"labels\":{\"proto\":\"udp\"},"
+      "\"kind\":\"counter\",\"value\":2}\n"
+      "]\n";
+  EXPECT_EQ(to_json(r), expected);
+}
+
+// ------------------------------------------------------------------ Tracer
+
+TEST(Tracer, DisabledByDefaultAndRecordsNothing) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled());
+  t.record_instant("x", "test");
+  EXPECT_EQ(t.recorded(), 0u);
+  EXPECT_TRUE(t.snapshot().empty());
+}
+
+TEST(Tracer, RingBufferWrapsKeepingNewest) {
+  Tracer t;
+  t.enable(/*capacity=*/4);
+  for (int i = 0; i < 6; ++i) t.record_instant("ev" + std::to_string(i), "t");
+  EXPECT_EQ(t.recorded(), 6u);
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].name, "ev2");  // oldest surviving
+  EXPECT_EQ(events[3].name, "ev5");  // newest
+}
+
+TEST(Tracer, ScopedSpanRecordsCompleteEventWithSimTime) {
+  Tracer t;
+  t.enable(16);
+  SimTime sim = SimTime::from_seconds(5);
+  t.set_sim_clock([&sim] { return sim; });
+  {
+    ScopedSpan span("stage", "test", t);
+    sim = SimTime::from_seconds(9);  // virtual time advances inside the span
+  }
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "stage");
+  EXPECT_EQ(events[0].phase, 'X');
+  EXPECT_EQ(events[0].sim_start_us, SimTime::from_seconds(5).us());
+  EXPECT_EQ(events[0].sim_end_us, SimTime::from_seconds(9).us());
+}
+
+TEST(Tracer, ChromeJsonExportCarriesSpans) {
+  Tracer t;
+  t.enable(16);
+  t.set_sim_clock([] { return SimTime::from_ms(1); });
+  { ScopedSpan span("idle", "pipeline", t); }
+  t.record_instant("marker", "pipeline");
+  const std::string json = trace_to_chrome_json(t);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"idle\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"marker\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"sim_start_us\":1000"), std::string::npos);
+}
+
+TEST(Tracer, SpanStartedWhileDisabledStaysSilent) {
+  Tracer t;
+  std::optional<ScopedSpan> span;
+  span.emplace("late", "test", t);
+  t.enable(8);
+  span.reset();  // tracer was off at construction: nothing recorded
+  EXPECT_EQ(t.recorded(), 0u);
+}
+
+}  // namespace
+}  // namespace roomnet::telemetry
