@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/roomnet.hpp"
+#include "exec/task_pool.hpp"
 #include "telemetry/export.hpp"
 
 namespace roomnet::bench {
@@ -47,8 +48,11 @@ inline void write_report() {
   const std::string path = "BENCH_" + report_name + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return;
-  std::fprintf(f, "{\n  \"name\": \"%s\",\n  \"wall_ms\": %.3f,\n",
-               report_name.c_str(), wall_ms);
+  std::fprintf(f,
+               "{\n  \"name\": \"%s\",\n  \"wall_ms\": %.3f,\n"
+               "  \"wall_s\": %.6f,\n  \"threads\": %zu,\n",
+               report_name.c_str(), wall_ms, wall_ms / 1000.0,
+               exec::TaskPool::default_threads());
   std::fprintf(f, "  \"scalars\": {");
   bool first = true;
   for (const auto& [key, value] : report_scalars) {

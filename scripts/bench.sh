@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Builds Release and regenerates the machine-readable BENCH_<name>.json
+# reports in the repo root (each bench also prints its paper-vs-measured
+# table to stdout).
+#
+#   scripts/bench.sh                   # run every bench binary
+#   scripts/bench.sh fig3 parallel     # only binaries matching a substring
+#
+# Reports carry name, wall_ms/wall_s, threads (ROOMNET_THREADS env or
+# hardware concurrency), headline scalars, and a telemetry snapshot.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== Release build =="
+cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-bench -j "${JOBS}"
+
+ran=0
+for bin in build-bench/bench/*; do
+  [[ -f "${bin}" && -x "${bin}" ]] || continue
+  name="$(basename "${bin}")"
+  [[ "${name}" == "micro_codecs" ]] && continue  # google-benchmark micro, no report
+  if (($#)); then
+    match=0
+    for filter in "$@"; do [[ "${name}" == *"${filter}"* ]] && match=1; done
+    ((match)) || continue
+  fi
+  echo
+  echo "== ${name} =="
+  "./${bin}"
+  ran=$((ran + 1))
+done
+
+echo
+echo "== ${ran} bench binaries run; reports in $(pwd): =="
+ls -1 BENCH_*.json 2>/dev/null || echo "(no reports written)"

@@ -1,12 +1,32 @@
 #!/usr/bin/env bash
-# Tier-1 verify plus an ASan+UBSan test pass.
+# Tier-1 verify plus sanitizer passes.
 #
-#   scripts/check.sh          # plain build + ctest, then sanitized build + ctest
+#   scripts/check.sh          # plain build + ctest, then ASan+UBSan build + ctest
 #   scripts/check.sh --fast   # plain build + ctest only
+#   scripts/check.sh --tsan   # ThreadSanitizer build, exec + pipeline tests only
+#                             # (the suites with real concurrency; TSan cannot
+#                             # combine with ASan, so it gets its own tree)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  echo "== sanitizers: TSan build + exec/pipeline tests =="
+  cmake -B build-tsan -S . -DROOMNET_SANITIZE=thread \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan -j "${JOBS}"
+  # The exec suites plus the pipeline tests that exercise worker threads
+  # (the determinism test runs the pipeline at threads 1, 2, and 4). The
+  # PipelineFixture integration tests are excluded: each ctest entry re-runs
+  # the whole 40-virtual-minute study, which under TSan costs minutes apiece
+  # without adding concurrency coverage beyond the determinism test.
+  TSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
+          -R '^(ExecPool|ExecParallel|PipelineDeterminism|PipelineTelemetry)'
+  echo "== tsan checks passed =="
+  exit 0
+fi
 
 echo "== tier-1: RelWithDebInfo build + ctest =="
 cmake -B build -S .

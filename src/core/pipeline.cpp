@@ -5,6 +5,8 @@
 
 #include "capture/filter.hpp"
 #include "capture/flow.hpp"
+#include "exec/parallel.hpp"
+#include "exec/task_pool.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -65,6 +67,15 @@ PipelineResults Pipeline::run() {
   const bool telemetry_run = !config_.telemetry_out.empty();
   if (telemetry_run) telemetry::enable();
   telemetry::Registry::global().counter("roomnet_pipeline_runs_total").inc();
+  // Worker pool for the analysis stages. The simulation itself (stages 1,
+  // 2, the scan sim, the app campaign) stays on the calling thread — only
+  // the pure analysis functions shard, each with ordered merges, so the
+  // results are byte-identical for any worker count.
+  exec::TaskPool pool(
+      config_.threads <= 0 ? 0 : static_cast<std::size_t>(config_.threads));
+  telemetry::Registry::global()
+      .gauge("roomnet_exec_pool_threads")
+      .set(static_cast<std::int64_t>(pool.threads()));
   SimClockGuard sim_clock(lab_->loop());
   std::optional<telemetry::ScopedSpan> pipeline_span;
   pipeline_span.emplace("pipeline", "pipeline");
@@ -73,20 +84,18 @@ PipelineResults Pipeline::run() {
   for (const auto& device : lab_->devices())
     results.population.insert(device->mac());
 
-  // Streaming consumers over the decoded tap (no frame retention).
+  // Streaming consumers over the decoded tap (no frame retention). The
+  // cross-validation's per-packet pass reads `decoded` through a PacketView
+  // projection, so the capture is held exactly once.
   std::vector<std::pair<SimTime, Packet>> decoded;
   const LocalFilter filter;
   FlowTable flow_table;
-  // Appendix C.2 cross-validates over "local network packets and flows":
-  // every local packet is classified individually in addition to the flows.
-  std::vector<Packet> all_packets;
   lab_->network().add_packet_tap(
       [&](SimTime at, const Packet& packet, BytesView) {
         if (!filter.matches(packet)) return;
         ++results.local_packets;
         decoded.emplace_back(at, packet);
         flow_table.add(at, packet);
-        all_packets.push_back(packet);
       });
 
   // --- Stage 1: idle capture (§3.1) -----------------------------------
@@ -108,12 +117,19 @@ PipelineResults Pipeline::run() {
   // --- Stage 3: passive analyses (§4.1, §5.1, C.2, D.2) ----------------
   {
     StageTimer stage("classify", lab_->loop());
-    results.usage = protocol_usage(decoded);
-    results.graph = build_comm_graph(decoded, results.population);
-    results.exposure = analyze_exposure(decoded);
-    results.crossval = cross_validate(flow_table.flows(), all_packets);
-    results.responses = correlate_responses(decoded);
-    results.flows = flow_table.flows().size();
+    // The five analyses are independent pure functions over the (now
+    // read-only) capture, each filling its own results field — they run as
+    // concurrent tasks, and cross_validate additionally shards its
+    // per-flow/per-packet loops on the same pool.
+    const std::vector<Flow>& flows = flow_table.flows();
+    exec::parallel_invoke(
+        pool,
+        {[&] { results.usage = protocol_usage(decoded); },
+         [&] { results.graph = build_comm_graph(decoded, results.population); },
+         [&] { results.exposure = analyze_exposure(decoded); },
+         [&] { results.crossval = cross_validate(flows, decoded, pool); },
+         [&] { results.responses = correlate_responses(decoded); }});
+    results.flows = flows.size();
   }
 
   // --- Stage 4: active scan + vulnerability audit (§4.2, §5.2) ----------
@@ -137,7 +153,7 @@ PipelineResults Pipeline::run() {
     prober.start(scanner.reports());
     lab_->run_for(prober.estimated_duration());
     results.audits = prober.audits();
-    results.vulnerabilities = scan_vulnerabilities(results.audits);
+    results.vulnerabilities = scan_vulnerabilities(results.audits, pool);
   }
 
   // --- Stage 5: app campaign (§3.2, §6.1, §6.2) -------------------------
@@ -162,7 +178,7 @@ PipelineResults Pipeline::run() {
     StageTimer stage("crowd", lab_->loop());
     Rng crowd_rng(config_.seed ^ 0xc0ffee);
     const InspectorDataset dataset = generate_inspector_dataset(crowd_rng);
-    results.fingerprints = fingerprint_households(dataset);
+    results.fingerprints = fingerprint_households(dataset, pool);
   }
 
   pipeline_span.reset();  // close the whole-run span before exporting

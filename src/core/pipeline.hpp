@@ -32,6 +32,13 @@ struct PipelineConfig {
   /// 6 h covers the slowest 2.5 h cadence with margin).
   SimTime idle_duration = SimTime::from_hours(6);
   int interactions = 500;
+  /// Worker parallelism for the analysis stages (the five stage-3 passive
+  /// analyses, the sharded classifier cross-validation, vulnerability
+  /// auditing, and household fingerprint extraction). 0 = auto: the
+  /// ROOMNET_THREADS env var, else hardware concurrency. Results are
+  /// byte-identical for every value — partial results always merge in
+  /// input order, and threads=1 runs the historical sequential code.
+  int threads = 0;
   /// Apps actually executed (the full 2,335 runs in the bench; smaller
   /// samples keep interactive use fast). 0 disables the campaign.
   int app_sample = 200;

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <map>
 
+#include "exec/parallel.hpp"
+#include "exec/task_pool.hpp"
+
 namespace roomnet {
 
 std::set<ExtractedIdentifier> device_identifiers(const InspectorDevice& device) {
@@ -20,34 +23,39 @@ std::set<ExtractedIdentifier> device_identifiers(const InspectorDevice& device) 
   return out;
 }
 
-FingerprintAnalysis fingerprint_households(const InspectorDataset& dataset) {
+FingerprintAnalysis fingerprint_households(const InspectorDataset& dataset,
+                                           exec::TaskPool& pool) {
   // Table 2's grouping: devices partition into rows by the identifier-type
   // combination THEIR OWN payloads expose; a household is counted in every
   // row for which it owns at least one such device (which is why the
   // paper's per-row household counts sum past 3,860 while the device counts
   // sum to exactly 12,669).
   struct DeviceView {
-    std::size_t household;
-    std::size_t product;
+    std::size_t household = 0;
+    std::size_t product = 0;
     ExposureClass types;
     std::set<ExtractedIdentifier> ids;
   };
-  std::vector<DeviceView> device_views;
-  device_views.reserve(dataset.devices.size());
-  for (const auto& device : dataset.devices) {
-    DeviceView view;
-    view.household = device.household;
-    view.product = device.product_index;
-    view.ids = device_identifiers(device);
-    for (const auto& id : view.ids) {
-      switch (id.type) {
-        case IdentifierType::kName: view.types.name = true; break;
-        case IdentifierType::kUuid: view.types.uuid = true; break;
-        case IdentifierType::kMacAddress: view.types.mac = true; break;
-      }
-    }
-    device_views.push_back(std::move(view));
-  }
+  // Per-device payload parsing is independent; shard it, keeping each view
+  // in its input slot. Everything downstream (grouping, fingerprints,
+  // entropy — the floating-point part) runs sequentially over that ordered
+  // vector, so the result never depends on the worker count.
+  const std::vector<DeviceView> device_views = exec::parallel_map(
+      pool, dataset.devices.size(), [&](std::size_t i) {
+        const InspectorDevice& device = dataset.devices[i];
+        DeviceView view;
+        view.household = device.household;
+        view.product = device.product_index;
+        view.ids = device_identifiers(device);
+        for (const auto& id : view.ids) {
+          switch (id.type) {
+            case IdentifierType::kName: view.types.name = true; break;
+            case IdentifierType::kUuid: view.types.uuid = true; break;
+            case IdentifierType::kMacAddress: view.types.mac = true; break;
+          }
+        }
+        return view;
+      });
 
   std::map<ExposureClass, std::vector<const DeviceView*>> by_class;
   for (const auto& view : device_views) by_class[view.types].push_back(&view);
@@ -110,6 +118,11 @@ FingerprintAnalysis fingerprint_households(const InspectorDataset& dataset) {
     analysis.by_count.push_back(total);
   }
   return analysis;
+}
+
+FingerprintAnalysis fingerprint_households(const InspectorDataset& dataset) {
+  exec::TaskPool serial(1);
+  return fingerprint_households(dataset, serial);
 }
 
 }  // namespace roomnet

@@ -11,6 +11,10 @@
 
 #include "crowd/inspector.hpp"
 
+namespace roomnet::exec {
+class TaskPool;
+}  // namespace roomnet::exec
+
 namespace roomnet {
 
 struct FingerprintRow {
@@ -43,5 +47,12 @@ struct FingerprintAnalysis {
 std::set<ExtractedIdentifier> device_identifiers(const InspectorDevice& device);
 
 FingerprintAnalysis fingerprint_households(const InspectorDataset& dataset);
+
+/// Parallel variant: per-device identifier extraction (the payload parsing,
+/// the expensive part at 12K+ devices) shards over `pool` with results in
+/// input order; grouping and the entropy aggregation stay sequential, so
+/// the analysis is byte-identical for any worker count.
+FingerprintAnalysis fingerprint_households(const InspectorDataset& dataset,
+                                           exec::TaskPool& pool);
 
 }  // namespace roomnet

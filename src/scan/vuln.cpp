@@ -1,5 +1,7 @@
 #include "scan/vuln.hpp"
 
+#include "exec/parallel.hpp"
+#include "exec/task_pool.hpp"
 #include "proto/dns.hpp"
 #include "proto/http.hpp"
 
@@ -190,92 +192,114 @@ void ServiceProber::probe_udp(DeviceAudit& audit, std::size_t service_index,
   });
 }
 
-std::vector<VulnFinding> scan_vulnerabilities(
-    const std::vector<DeviceAudit>& audits) {
+namespace {
+
+/// One device's findings — the rule engine body, independent per audit.
+std::vector<VulnFinding> audit_findings(const DeviceAudit& audit) {
   std::vector<VulnFinding> findings;
-  const auto add = [&](const DeviceAudit& audit, Severity severity,
+  const auto add = [&](const DeviceAudit& a, Severity severity,
                        std::string id, std::string title, std::string evidence) {
-    findings.push_back({audit.target.mac, audit.target.label, severity,
+    findings.push_back({a.target.mac, a.target.label, severity,
                         std::move(id), std::move(title), std::move(evidence)});
   };
 
-  for (const auto& audit : audits) {
-    for (const auto& service : audit.services) {
-      const std::string port_str =
-          std::to_string(service.port) + (service.udp ? "/udp" : "/tcp");
+  for (const auto& service : audit.services) {
+    const std::string port_str =
+        std::to_string(service.port) + (service.udp ? "/udp" : "/tcp");
 
-      if (service.certificate) {
-        const CertificateInfo& cert = *service.certificate;
-        if (cert.key_bits < 128) {
-          // §5.2: "one high-severity issue across all these devices that run
-          // TLS on port 8009 due to the small size of the encryption key
-          // (64-122 bits)" — birthday attacks, CVE-2016-2183.
-          add(audit, Severity::kHigh, "CVE-2016-2183",
-              "TLS service with small encryption key enables birthday attacks",
-              port_str + " key=" + std::to_string(cert.key_bits) + " bits");
-        }
-        if (cert.validity_years() >= 10) {
-          add(audit, Severity::kLow, "roomnet-cert-longlived",
-              "Self-signed/leaf certificate valid for " +
-                  std::to_string(static_cast<int>(cert.validity_years())) +
-                  " years",
-              port_str + " CN=" + cert.subject_cn);
-        }
-        if (cert.self_signed()) {
-          add(audit, Severity::kInfo, "roomnet-cert-selfsigned",
-              "Self-signed TLS certificate", port_str + " CN=" + cert.subject_cn);
-        }
+    if (service.certificate) {
+      const CertificateInfo& cert = *service.certificate;
+      if (cert.key_bits < 128) {
+        // §5.2: "one high-severity issue across all these devices that run
+        // TLS on port 8009 due to the small size of the encryption key
+        // (64-122 bits)" — birthday attacks, CVE-2016-2183.
+        add(audit, Severity::kHigh, "CVE-2016-2183",
+            "TLS service with small encryption key enables birthday attacks",
+            port_str + " key=" + std::to_string(cert.key_bits) + " bits");
       }
-      if (service.tls_version &&
-          (*service.tls_version == TlsVersion::kTls10 ||
-           *service.tls_version == TlsVersion::kTls11)) {
-        add(audit, Severity::kMedium, "roomnet-tls-deprecated",
-            "Deprecated TLS protocol version", port_str);
+      if (cert.validity_years() >= 10) {
+        add(audit, Severity::kLow, "roomnet-cert-longlived",
+            "Self-signed/leaf certificate valid for " +
+                std::to_string(static_cast<int>(cert.validity_years())) +
+                " years",
+            port_str + " CN=" + cert.subject_cn);
       }
-      if (service.banner.find("SheerDNS 1.0.0") != std::string::npos) {
-        // Nessus plugin 11535 (§5.2: HomePod Mini).
-        add(audit, Severity::kHigh, "nessus-11535",
-            "SheerDNS < 1.0.1 multiple vulnerabilities", service.banner);
+      if (cert.self_signed()) {
+        add(audit, Severity::kInfo, "roomnet-cert-selfsigned",
+            "Self-signed TLS certificate", port_str + " CN=" + cert.subject_cn);
       }
-      if (service.dns_cache_snoopable) {
-        // Nessus plugin 12217 (§5.2: HomePod Mini, WeMo plug).
-        add(audit, Severity::kMedium, "nessus-12217",
-            "DNS server cache snooping remote information disclosure",
-            port_str);
-      }
-      if (service.dns_reveals_resolver) {
-        add(audit, Severity::kLow, "roomnet-dns-resolver-leak",
-            "DNS service reveals host name and private IP of the resolver",
-            port_str);
-      }
-      if (service.jquery_12) {
-        // §5.2: Microseven runs jQuery 1.2 — CVE-2020-11022/11023 XSS.
-        add(audit, Severity::kMedium, "CVE-2020-11022",
-            "Embedded jQuery 1.2 vulnerable to multiple XSS issues", port_str);
-      }
-      if (service.backup_exposed) {
-        add(audit, Severity::kHigh, "roomnet-backup-exposure",
-            "HTTP server exposes configuration backup files without "
-            "authentication",
-            port_str + " /backup");
-      }
-      if (service.snapshot_exposed) {
-        add(audit, Severity::kHigh, "roomnet-onvif-snapshot",
-            "Unauthenticated users can fetch camera snapshots (ONVIF)",
-            port_str + " /onvif/snapshot");
-      }
-      if (service.accounts_exposed) {
-        add(audit, Severity::kMedium, "roomnet-account-enum",
-            "Service lists user accounts and recording directory", port_str);
-      }
-      if (service.corrected_service == "telnet" ||
-          (!service.udp && service.port == 23)) {
-        add(audit, Severity::kMedium, "roomnet-telnet",
-            "Cleartext telnet administration service", port_str);
-      }
+    }
+    if (service.tls_version &&
+        (*service.tls_version == TlsVersion::kTls10 ||
+         *service.tls_version == TlsVersion::kTls11)) {
+      add(audit, Severity::kMedium, "roomnet-tls-deprecated",
+          "Deprecated TLS protocol version", port_str);
+    }
+    if (service.banner.find("SheerDNS 1.0.0") != std::string::npos) {
+      // Nessus plugin 11535 (§5.2: HomePod Mini).
+      add(audit, Severity::kHigh, "nessus-11535",
+          "SheerDNS < 1.0.1 multiple vulnerabilities", service.banner);
+    }
+    if (service.dns_cache_snoopable) {
+      // Nessus plugin 12217 (§5.2: HomePod Mini, WeMo plug).
+      add(audit, Severity::kMedium, "nessus-12217",
+          "DNS server cache snooping remote information disclosure",
+          port_str);
+    }
+    if (service.dns_reveals_resolver) {
+      add(audit, Severity::kLow, "roomnet-dns-resolver-leak",
+          "DNS service reveals host name and private IP of the resolver",
+          port_str);
+    }
+    if (service.jquery_12) {
+      // §5.2: Microseven runs jQuery 1.2 — CVE-2020-11022/11023 XSS.
+      add(audit, Severity::kMedium, "CVE-2020-11022",
+          "Embedded jQuery 1.2 vulnerable to multiple XSS issues", port_str);
+    }
+    if (service.backup_exposed) {
+      add(audit, Severity::kHigh, "roomnet-backup-exposure",
+          "HTTP server exposes configuration backup files without "
+          "authentication",
+          port_str + " /backup");
+    }
+    if (service.snapshot_exposed) {
+      add(audit, Severity::kHigh, "roomnet-onvif-snapshot",
+          "Unauthenticated users can fetch camera snapshots (ONVIF)",
+          port_str + " /onvif/snapshot");
+    }
+    if (service.accounts_exposed) {
+      add(audit, Severity::kMedium, "roomnet-account-enum",
+          "Service lists user accounts and recording directory", port_str);
+    }
+    if (service.corrected_service == "telnet" ||
+        (!service.udp && service.port == 23)) {
+      add(audit, Severity::kMedium, "roomnet-telnet",
+          "Cleartext telnet administration service", port_str);
     }
   }
   return findings;
+}
+
+}  // namespace
+
+std::vector<VulnFinding> scan_vulnerabilities(
+    const std::vector<DeviceAudit>& audits, exec::TaskPool& pool) {
+  std::vector<std::vector<VulnFinding>> per_audit = exec::parallel_map(
+      pool, audits.size(),
+      [&](std::size_t i) { return audit_findings(audits[i]); });
+  std::vector<VulnFinding> findings;
+  std::size_t total = 0;
+  for (const auto& chunk : per_audit) total += chunk.size();
+  findings.reserve(total);
+  for (auto& chunk : per_audit)
+    for (auto& finding : chunk) findings.push_back(std::move(finding));
+  return findings;
+}
+
+std::vector<VulnFinding> scan_vulnerabilities(
+    const std::vector<DeviceAudit>& audits) {
+  exec::TaskPool serial(1);
+  return scan_vulnerabilities(audits, serial);
 }
 
 }  // namespace roomnet

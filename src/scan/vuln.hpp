@@ -13,6 +13,10 @@
 #include "proto/tls.hpp"
 #include "scan/portscan.hpp"
 
+namespace roomnet::exec {
+class TaskPool;
+}  // namespace roomnet::exec
+
 namespace roomnet {
 
 struct ServiceObservation {
@@ -76,5 +80,11 @@ struct VulnFinding {
 /// The rule engine. Pure function of the audit data.
 std::vector<VulnFinding> scan_vulnerabilities(
     const std::vector<DeviceAudit>& audits);
+
+/// Parallel variant: devices audit independently over `pool`; per-device
+/// findings concatenate in input order, so the report is byte-identical
+/// for any worker count.
+std::vector<VulnFinding> scan_vulnerabilities(
+    const std::vector<DeviceAudit>& audits, exec::TaskPool& pool);
 
 }  // namespace roomnet

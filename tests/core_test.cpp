@@ -109,6 +109,91 @@ TEST(PipelineDeterminism, SameSeedSameHeadlineNumbers) {
   EXPECT_EQ(r1.graph.edges.size(), r2.graph.edges.size());
 }
 
+TEST(PipelineDeterminism, ByteIdenticalAcrossThreadCounts) {
+  // The exec runtime's contract: partial results always merge in index
+  // order, so the full result tables — including the parallelized
+  // cross-validation, vulnerability audit, and fingerprint analysis — are
+  // identical for every worker count, and threads=1 is the historical
+  // sequential path.
+  PipelineConfig config;
+  config.idle_duration = SimTime::from_minutes(10);
+  config.interactions = 20;
+  config.app_sample = 0;
+  config.run_scan = true;
+  config.run_crowd = true;
+
+  const auto run_with = [&](int threads) {
+    PipelineConfig c = config;
+    c.threads = threads;
+    Pipeline pipeline(c);
+    return pipeline.run();
+  };
+  const PipelineResults base = run_with(1);
+  EXPECT_FALSE(base.vulnerabilities.empty());
+  EXPECT_FALSE(base.fingerprints.rows.empty());
+  EXPECT_GT(base.crossval.total, 100u);
+
+  for (const int threads : {2, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const PipelineResults r = run_with(threads);
+
+    EXPECT_EQ(r.local_packets, base.local_packets);
+    EXPECT_EQ(r.flows, base.flows);
+    EXPECT_EQ(r.population, base.population);
+    EXPECT_EQ(r.usage.by_device, base.usage.by_device);
+
+    ASSERT_EQ(r.graph.edges.size(), base.graph.edges.size());
+    for (std::size_t i = 0; i < r.graph.edges.size(); ++i) {
+      EXPECT_EQ(r.graph.edges[i].a, base.graph.edges[i].a) << i;
+      EXPECT_EQ(r.graph.edges[i].b, base.graph.edges[i].b) << i;
+      EXPECT_EQ(r.graph.edges[i].packets, base.graph.edges[i].packets) << i;
+    }
+
+    EXPECT_EQ(r.crossval.matrix, base.crossval.matrix);
+    EXPECT_EQ(r.crossval.total, base.crossval.total);
+    EXPECT_EQ(r.crossval.agreed, base.crossval.agreed);
+    EXPECT_EQ(r.crossval.disagreed, base.crossval.disagreed);
+    EXPECT_EQ(r.crossval.neither_labeled, base.crossval.neither_labeled);
+    EXPECT_EQ(r.crossval.spec_labeled, base.crossval.spec_labeled);
+    EXPECT_EQ(r.crossval.deep_labeled, base.crossval.deep_labeled);
+
+    EXPECT_EQ(r.exposure.cells, base.exposure.cells);
+    EXPECT_EQ(r.responses.discovery_protocols,
+              base.responses.discovery_protocols);
+    EXPECT_EQ(r.responses.answered_protocols, base.responses.answered_protocols);
+    EXPECT_EQ(r.responses.matches.size(), base.responses.matches.size());
+
+    EXPECT_EQ(r.scan_reports.size(), base.scan_reports.size());
+    EXPECT_EQ(r.audits.size(), base.audits.size());
+    ASSERT_EQ(r.vulnerabilities.size(), base.vulnerabilities.size());
+    for (std::size_t i = 0; i < r.vulnerabilities.size(); ++i) {
+      EXPECT_EQ(r.vulnerabilities[i].mac, base.vulnerabilities[i].mac) << i;
+      EXPECT_EQ(r.vulnerabilities[i].device, base.vulnerabilities[i].device) << i;
+      EXPECT_EQ(r.vulnerabilities[i].severity, base.vulnerabilities[i].severity)
+          << i;
+      EXPECT_EQ(r.vulnerabilities[i].id, base.vulnerabilities[i].id) << i;
+      EXPECT_EQ(r.vulnerabilities[i].title, base.vulnerabilities[i].title) << i;
+      EXPECT_EQ(r.vulnerabilities[i].evidence, base.vulnerabilities[i].evidence)
+          << i;
+    }
+
+    ASSERT_EQ(r.fingerprints.rows.size(), base.fingerprints.rows.size());
+    for (std::size_t i = 0; i < r.fingerprints.rows.size(); ++i) {
+      const auto& a = r.fingerprints.rows[i];
+      const auto& b = base.fingerprints.rows[i];
+      EXPECT_EQ(a.types, b.types) << i;
+      EXPECT_EQ(a.products, b.products) << i;
+      EXPECT_EQ(a.vendors, b.vendors) << i;
+      EXPECT_EQ(a.devices, b.devices) << i;
+      EXPECT_EQ(a.households, b.households) << i;
+      EXPECT_EQ(a.uniquely_identified, b.uniquely_identified) << i;
+      // Bit-exact: entropy is computed in the sequential aggregation stage
+      // from inputs that are themselves worker-count invariant.
+      EXPECT_EQ(a.entropy_bits, b.entropy_bits) << i;
+    }
+  }
+}
+
 TEST(PipelineTelemetry, PopulatesStageMetricsWithoutChangingResults) {
   PipelineConfig config;
   config.idle_duration = SimTime::from_minutes(10);
