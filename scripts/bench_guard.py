@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Fails CI when a bench report's wall time regresses past the allowed ratio.
+
+Usage:
+    bench_guard.py CURRENT.json BASELINE.json [--max-regression 0.25]
+
+CURRENT.json is a fresh BENCH_<name>.json written by scripts/bench.sh;
+BASELINE.json is the committed reference under bench/baselines/. The guard
+compares wall_s and fails (exit 1) when the current run is more than
+--max-regression slower than the baseline.
+
+Wall-clock comparisons only mean something on comparable machines, so when
+the two reports disagree on scalars.hardware_threads the guard SKIPs
+(exit 0 with a notice) instead of judging: the committed baseline records
+the machine shape it was measured on.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="fresh BENCH_<name>.json")
+    parser.add_argument("baseline", help="committed baseline json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="maximum allowed slowdown ratio vs baseline (default 0.25)",
+    )
+    args = parser.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+
+    current_hw = current.get("scalars", {}).get("hardware_threads")
+    baseline_hw = baseline.get("scalars", {}).get("hardware_threads")
+    if current_hw != baseline_hw:
+        print(
+            f"bench_guard: SKIP — hardware_threads {current_hw} does not "
+            f"match baseline {baseline_hw}; wall-clock comparison would be noise"
+        )
+        return 0
+
+    current_s = float(current["wall_s"])
+    baseline_s = float(baseline["wall_s"])
+    if baseline_s <= 0:
+        print("bench_guard: SKIP — baseline wall_s is not positive")
+        return 0
+
+    ratio = (current_s - baseline_s) / baseline_s
+    print(
+        f"bench_guard: {current.get('name', args.current)}: "
+        f"wall {current_s:.3f}s vs baseline {baseline_s:.3f}s "
+        f"({ratio:+.1%}, limit +{args.max_regression:.0%})"
+    )
+    if ratio > args.max_regression:
+        print("bench_guard: FAIL — wall time regressed past the limit")
+        return 1
+    print("bench_guard: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

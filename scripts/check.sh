@@ -3,13 +3,37 @@
 #
 #   scripts/check.sh          # plain build + ctest, then ASan+UBSan build + ctest
 #   scripts/check.sh --fast   # plain build + ctest only
-#   scripts/check.sh --tsan   # ThreadSanitizer build, exec + pipeline tests only
-#                             # (the suites with real concurrency; TSan cannot
-#                             # combine with ASan, so it gets its own tree)
+#   scripts/check.sh --tsan   # ThreadSanitizer build, exec + pipeline + faults
+#                             # tests only (the suites with real concurrency;
+#                             # TSan cannot combine with ASan, so it gets its
+#                             # own tree)
+#   scripts/check.sh --format # clang-format --dry-run --Werror over the tree
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+if [[ "${1:-}" == "--format" ]]; then
+  echo "== lint: clang-format --dry-run --Werror over src/ tests/ bench/ =="
+  CLANG_FORMAT=""
+  for candidate in clang-format clang-format-20 clang-format-19 \
+                   clang-format-18 clang-format-17 clang-format-16 \
+                   clang-format-15 clang-format-14; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      CLANG_FORMAT="${candidate}"
+      break
+    fi
+  done
+  if [[ -z "${CLANG_FORMAT}" ]]; then
+    echo "error: no clang-format binary found on PATH" >&2
+    exit 1
+  fi
+  "${CLANG_FORMAT}" --version
+  find src tests bench \( -name '*.cpp' -o -name '*.hpp' \) -print0 |
+    xargs -0 "${CLANG_FORMAT}" --dry-run --Werror
+  echo "== format clean =="
+  exit 0
+fi
 
 if [[ "${1:-}" == "--tsan" ]]; then
   echo "== sanitizers: TSan build + exec/pipeline tests =="
@@ -17,13 +41,14 @@ if [[ "${1:-}" == "--tsan" ]]; then
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "${JOBS}"
   # The exec suites plus the pipeline tests that exercise worker threads
-  # (the determinism test runs the pipeline at threads 1, 2, and 4). The
+  # (the determinism tests run the pipeline at threads 1, 2, and 4 — the
+  # Faults* suites additionally with fault injection live). The
   # PipelineFixture integration tests are excluded: each ctest entry re-runs
   # the whole 40-virtual-minute study, which under TSan costs minutes apiece
-  # without adding concurrency coverage beyond the determinism test.
+  # without adding concurrency coverage beyond the determinism tests.
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-          -R '^(ExecPool|ExecParallel|PipelineDeterminism|PipelineTelemetry)'
+          -R '^(ExecPool|ExecParallel|PipelineDeterminism|PipelineTelemetry|Faults)'
   echo "== tsan checks passed =="
   exit 0
 fi

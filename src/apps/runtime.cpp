@@ -1,6 +1,7 @@
 #include "apps/runtime.hpp"
 
 #include <algorithm>
+#include <functional>
 
 #include "telemetry/metrics.hpp"
 
@@ -27,6 +28,10 @@ struct AppRunner::Harvest {
   std::optional<std::pair<double, double>> geolocation;
   std::set<MacAddress> discovered_devices;
   std::vector<std::uint16_t> opened_ports;  // closed when the run ends
+  /// Re-sends of the exact discovery queries already emitted, populated only
+  /// when a retry budget is set. The response handlers stay open for the
+  /// whole run window, so late answers to retries are harvested normally.
+  std::vector<std::function<void()>> resenders;
 
   bool holds(AndroidPermission permission) const {
     return std::find(app->permissions.begin(), app->permissions.end(),
@@ -87,7 +92,12 @@ void AppRunner::do_mdns_scan(Harvest& harvest) {
     query.questions.push_back(
         {DnsName::from_string(type), DnsType::kPtr, false});
   }
-  phone.send_udp(kMdnsGroupV4, sport, kMdnsPort, encode_dns(query));
+  const Bytes payload = encode_dns(query);
+  phone.send_udp(kMdnsGroupV4, sport, kMdnsPort, payload);
+  if (scan_retries_ > 0)
+    harvest.resenders.push_back([&phone, sport, payload] {
+      phone.send_udp(kMdnsGroupV4, sport, kMdnsPort, payload);
+    });
 }
 
 void AppRunner::do_ssdp_scan(Harvest& harvest, bool igd_target) {
@@ -143,7 +153,12 @@ void AppRunner::do_ssdp_scan(Harvest& harvest, bool igd_target) {
   msearch.search_target =
       igd_target ? "urn:schemas-upnp-org:device:InternetGatewayDevice:1"
                  : "ssdp:all";
-  phone.send_udp(kSsdpGroupV4, sport, kSsdpPort, encode_ssdp(msearch));
+  const Bytes payload = encode_ssdp(msearch);
+  phone.send_udp(kSsdpGroupV4, sport, kSsdpPort, payload);
+  if (scan_retries_ > 0)
+    harvest.resenders.push_back([&phone, sport, payload] {
+      phone.send_udp(kSsdpGroupV4, sport, kSsdpPort, payload);
+    });
 }
 
 void AppRunner::do_netbios_sweep(Harvest& harvest) {
@@ -210,8 +225,12 @@ void AppRunner::do_tplink_discovery(Harvest& harvest) {
       harvest.geolocation = {{info->latitude, info->longitude}};
   });
   const Ipv4Address bcast(phone.ip().value() | 0xff);
-  phone.send_udp(bcast, sport, kTplinkPort,
-                 encode_tplink_udp(tplink_get_sysinfo_request()));
+  const Bytes payload = encode_tplink_udp(tplink_get_sysinfo_request());
+  phone.send_udp(bcast, sport, kTplinkPort, payload);
+  if (scan_retries_ > 0)
+    harvest.resenders.push_back([&phone, bcast, sport, payload] {
+      phone.send_udp(bcast, sport, kTplinkPort, payload);
+    });
 }
 
 void AppRunner::do_local_tls(Harvest& harvest) {
@@ -424,6 +443,24 @@ AppRunRecord AppRunner::run(const AppSpec& app, SimTime window) {
   if (app.scans_netbios) do_netbios_sweep(harvest);
   if (app.uses_tplink) do_tplink_discovery(harvest);
   if (app.uses_local_tls) do_local_tls(harvest);
+
+  if (scan_retries_ > 0 && !harvest.resenders.empty()) {
+    static telemetry::Counter& app_retries =
+        telemetry::Registry::global().counter(
+            "roomnet_faults_app_retries_total");
+    EventLoop& loop = lab_->pixel().loop();
+    for (int attempt = 1; attempt <= scan_retries_; ++attempt) {
+      // Re-query at window/8, window/4, then window/2 for every further
+      // attempt, so each retry fires (and can be answered) in-window.
+      const int shift = std::max(1, 4 - attempt);
+      const SimTime at = SimTime::from_us(window.us() >> shift);
+      for (const auto& resend : harvest.resenders)
+        loop.schedule_in(at, [resend] {
+          app_retries.inc();
+          resend();
+        });
+    }
+  }
 
   lab_->run_for(window);
   for (const std::uint16_t port : harvest.opened_ports)

@@ -59,6 +59,13 @@ class AppRunner {
   std::vector<AppRunRecord> run_all(const AppDataset& dataset,
                                     SimTime window = SimTime::from_seconds(20));
 
+  /// Discovery re-query budget for lossy networks: each mDNS/SSDP/TPLINK
+  /// query is retransmitted up to `retries` times inside the run window
+  /// (at window/8, window/4, window/2). 0 (default) keeps the historical
+  /// single-shot behavior byte-for-byte. NetBIOS sweeps are not retried:
+  /// re-blasting 253 datagrams would dwarf the original scan.
+  void set_scan_retries(int retries) { scan_retries_ = retries; }
+
  private:
   struct Harvest;  // per-run mutable state
   void do_mdns_scan(Harvest& harvest);
@@ -73,6 +80,7 @@ class AppRunner {
 
   Lab* lab_;
   Rng rng_;
+  int scan_retries_ = 0;
   std::string router_ssid_ = "HomeNet-5G";
 };
 

@@ -58,9 +58,23 @@ class SimClockGuard {
 
 }  // namespace
 
+namespace {
+telemetry::Counter& degraded_counter(const char* stage) {
+  return telemetry::Registry::global().counter("roomnet_faults_degraded_total",
+                                               {{"stage", stage}});
+}
+}  // namespace
+
 Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
   lab_ = std::make_unique<Lab>(
       LabConfig{.seed = config_.seed, .record_frames = false});
+  fault_plan_ = std::make_unique<faults::FaultPlan>(
+      config_.faults, faults::fault_seed(config_.seed));
+  if (fault_plan_->enabled()) {
+    fault_plan_->install(lab_->network());
+    // Arm the recovery paths: faults imply loss, loss implies retransmits.
+    for (auto& device : lab_->devices()) device->host().dhcp_max_retries = 4;
+  }
 }
 
 PipelineResults Pipeline::run() {
@@ -83,6 +97,30 @@ PipelineResults Pipeline::run() {
   PipelineResults results;
   for (const auto& device : lab_->devices())
     results.population.insert(device->mac());
+
+  // Graceful degradation: with faults on, a stage that loses its inputs
+  // records the loss instead of aborting the run. Fault-free runs keep the
+  // historical fail-fast behavior.
+  const auto guarded = [&](const char* stage, auto&& body) {
+    if (!fault_plan_->enabled()) {
+      body();
+      return;
+    }
+    try {
+      body();
+    } catch (const std::exception& e) {
+      results.degraded.push_back({stage, "stage", e.what()});
+      degraded_counter(stage).inc();
+    }
+  };
+
+  if (fault_plan_->enabled() && config_.faults.churn > 0) {
+    std::vector<Host*> hosts;
+    hosts.reserve(lab_->devices().size());
+    for (auto& device : lab_->devices()) hosts.push_back(&device->host());
+    churn_ = std::make_unique<faults::ChurnDriver>(*fault_plan_);
+    churn_->attach(lab_->loop(), std::move(hosts));
+  }
 
   // Streaming consumers over the decoded tap (no frame retention). The
   // cross-validation's per-packet pass reads `decoded` through a PacketView
@@ -117,68 +155,126 @@ PipelineResults Pipeline::run() {
   // --- Stage 3: passive analyses (§4.1, §5.1, C.2, D.2) ----------------
   {
     StageTimer stage("classify", lab_->loop());
-    // The five analyses are independent pure functions over the (now
-    // read-only) capture, each filling its own results field — they run as
-    // concurrent tasks, and cross_validate additionally shards its
-    // per-flow/per-packet loops on the same pool.
-    const std::vector<Flow>& flows = flow_table.flows();
-    exec::parallel_invoke(
-        pool,
-        {[&] { results.usage = protocol_usage(decoded); },
-         [&] { results.graph = build_comm_graph(decoded, results.population); },
-         [&] { results.exposure = analyze_exposure(decoded); },
-         [&] { results.crossval = cross_validate(flows, decoded, pool); },
-         [&] { results.responses = correlate_responses(decoded); }});
-    results.flows = flows.size();
+    guarded("classify", [&] {
+      // The five analyses are independent pure functions over the (now
+      // read-only) capture, each filling its own results field — they run as
+      // concurrent tasks, and cross_validate additionally shards its
+      // per-flow/per-packet loops on the same pool.
+      const std::vector<Flow>& flows = flow_table.flows();
+      exec::parallel_invoke(
+          pool,
+          {[&] { results.usage = protocol_usage(decoded); },
+           [&] { results.graph = build_comm_graph(decoded, results.population); },
+           [&] { results.exposure = analyze_exposure(decoded); },
+           [&] { results.crossval = cross_validate(flows, decoded, pool); },
+           [&] { results.responses = correlate_responses(decoded); }});
+      results.flows = flows.size();
+    });
   }
 
   // --- Stage 4: active scan + vulnerability audit (§4.2, §5.2) ----------
   if (config_.run_scan) {
     StageTimer stage("scan", lab_->loop());
-    Host scan_box(lab_->network(), MacAddress::from_u64(0x02a0fc0000aaull),
-                  "scanbox");
-    scan_box.set_static_ip(Ipv4Address(192, 168, 10, 251));
-    std::vector<ScanTarget> targets;
-    for (const auto& device : lab_->devices()) {
-      if (!device->host().has_ip()) continue;
-      targets.push_back({device->mac(), device->host().ip(),
-                         device->spec().vendor + " " + device->spec().model});
-    }
-    PortScanner scanner(scan_box);
-    scanner.start(targets);
-    lab_->run_for(scanner.estimated_duration());
-    results.scan_reports = scanner.reports();
+    guarded("scan", [&] {
+      Host scan_box(lab_->network(), MacAddress::from_u64(0x02a0fc0000aaull),
+                    "scanbox");
+      scan_box.set_static_ip(Ipv4Address(192, 168, 10, 251));
+      std::vector<ScanTarget> targets;
+      for (const auto& device : lab_->devices()) {
+        if (!device->host().has_ip()) {
+          // Lost to faults (dropped DHCP past the retry budget, or offline
+          // through churn): scan what answered, record what could not.
+          if (fault_plan_->enabled()) {
+            results.degraded.push_back(
+                {"scan", device->spec().vendor + " " + device->spec().model,
+                 "no IPv4 lease at scan time"});
+            degraded_counter("scan").inc();
+          }
+          continue;
+        }
+        targets.push_back({device->mac(), device->host().ip(),
+                           device->spec().vendor + " " + device->spec().model});
+      }
+      PortScanConfig scan_config;
+      if (fault_plan_->enabled()) scan_config.max_retries = 2;
+      PortScanner scanner(scan_box, scan_config);
+      scanner.start(targets);
+      lab_->run_for(scanner.estimated_duration());
+      results.scan_reports = scanner.reports();
+      if (fault_plan_->enabled()) {
+        for (const auto& report : results.scan_reports) {
+          if (report.responded_tcp || report.responded_udp ||
+              report.responded_ip)
+            continue;
+          results.degraded.push_back({"scan", report.target.label,
+                                      "silent under scan despite retries"});
+          degraded_counter("scan").inc();
+        }
+      }
 
-    ServiceProber prober(scan_box);
-    prober.start(scanner.reports());
-    lab_->run_for(prober.estimated_duration());
-    results.audits = prober.audits();
-    results.vulnerabilities = scan_vulnerabilities(results.audits, pool);
+      ServiceProber prober(scan_box);
+      prober.start(scanner.reports());
+      lab_->run_for(prober.estimated_duration());
+      results.audits = prober.audits();
+      results.vulnerabilities = scan_vulnerabilities(results.audits, pool);
+    });
   }
 
   // --- Stage 5: app campaign (§3.2, §6.1, §6.2) -------------------------
   if (config_.app_sample > 0) {
     StageTimer stage("apps", lab_->loop());
-    Rng app_rng = lab_->rng().fork("app-dataset");
-    const AppDataset dataset = generate_app_dataset(app_rng);
-    AppRunner runner(*lab_);
-    std::vector<AppRunRecord> records;
-    const int count =
-        std::min<int>(config_.app_sample, static_cast<int>(dataset.apps.size()));
-    records.reserve(static_cast<std::size_t>(count));
-    for (int i = 0; i < count; ++i)
-      records.push_back(runner.run(dataset.apps[static_cast<std::size_t>(i)],
-                                   SimTime::from_seconds(15)));
-    results.app_stats = summarize_campaign(records);
-    results.exfiltration = detect_exfiltration(records);
+    guarded("apps", [&] {
+      Rng app_rng = lab_->rng().fork("app-dataset");
+      const AppDataset dataset = generate_app_dataset(app_rng);
+      AppRunner runner(*lab_);
+      if (fault_plan_->enabled()) runner.set_scan_retries(2);
+      std::vector<AppRunRecord> records;
+      const int count = std::min<int>(config_.app_sample,
+                                      static_cast<int>(dataset.apps.size()));
+      records.reserve(static_cast<std::size_t>(count));
+      for (int i = 0; i < count; ++i)
+        records.push_back(runner.run(dataset.apps[static_cast<std::size_t>(i)],
+                                     SimTime::from_seconds(15)));
+      if (fault_plan_->enabled()) {
+        for (const auto& record : records) {
+          const AppSpec& spec = record.spec;
+          const bool scans =
+              spec.scans_mdns || spec.scans_ssdp || spec.uses_tplink;
+          if (spec.platform == MobilePlatform::kAndroid && scans &&
+              record.devices_discovered == 0) {
+            results.degraded.push_back(
+                {"apps", spec.package, "discovery scans returned no devices"});
+            degraded_counter("apps").inc();
+          }
+        }
+      }
+      results.app_stats = summarize_campaign(records);
+      results.exfiltration = detect_exfiltration(records);
+    });
   }
 
   // --- Stage 6: crowdsourced entropy analysis (§6.3) --------------------
   if (config_.run_crowd) {
     StageTimer stage("crowd", lab_->loop());
-    Rng crowd_rng(config_.seed ^ 0xc0ffee);
-    const InspectorDataset dataset = generate_inspector_dataset(crowd_rng);
-    results.fingerprints = fingerprint_households(dataset, pool);
+    guarded("crowd", [&] {
+      Rng crowd_rng(config_.seed ^ 0xc0ffee);
+      const InspectorDataset dataset = generate_inspector_dataset(crowd_rng);
+      results.fingerprints = fingerprint_households(dataset, pool);
+    });
+  }
+
+  // Churn ledger: every outage the run absorbed, in deterministic order.
+  if (churn_ != nullptr) {
+    churn_->detach();
+    for (const auto& event : churn_->log()) {
+      if (event.online) continue;
+      results.degraded.push_back(
+          {"churn", event.label,
+           "offline at t=" +
+               std::to_string(static_cast<long long>(event.at.seconds())) +
+               "s"});
+      degraded_counter("churn").inc();
+    }
   }
 
   pipeline_span.reset();  // close the whole-run span before exporting

@@ -15,6 +15,7 @@
 #include "classify/crossval.hpp"
 #include "classify/response.hpp"
 #include "crowd/entropy.hpp"
+#include "faults/churn.hpp"
 #include "scan/vuln.hpp"
 #include "testbed/lab.hpp"
 
@@ -44,6 +45,13 @@ struct PipelineConfig {
   int app_sample = 200;
   bool run_scan = true;
   bool run_crowd = true;
+  /// Fault injection (packet loss/dup/reorder/jitter/corruption, device
+  /// churn). The default all-off plan reproduces fault-free runs
+  /// byte-for-byte; any enabled fault also arms retry budgets (DHCP,
+  /// probe, and discovery retransmits) and graceful stage degradation.
+  /// The fault RNG is seeded from `seed` (override: ROOMNET_FAULT_SEED),
+  /// so faulty runs too are byte-identical at every thread count.
+  faults::FaultConfig faults;
 };
 
 struct PipelineResults {
@@ -65,6 +73,9 @@ struct PipelineResults {
   FingerprintAnalysis fingerprints;
   /// The 93 testbed MACs (percentage denominators).
   std::set<MacAddress> population;
+  /// Graceful-degradation ledger (empty unless faults are enabled): inputs
+  /// a stage lost to injected faults, recorded instead of failing the run.
+  std::vector<faults::DegradedResult> degraded;
 };
 
 class Pipeline {
@@ -80,6 +91,10 @@ class Pipeline {
  private:
   PipelineConfig config_;
   std::unique_ptr<Lab> lab_;
+  // Owned by the pipeline (not run()) so churn recovery events scheduled on
+  // the lab's loop never outlive the driver that logs them.
+  std::unique_ptr<faults::FaultPlan> fault_plan_;
+  std::unique_ptr<faults::ChurnDriver> churn_;
 };
 
 }  // namespace roomnet

@@ -1,0 +1,51 @@
+// Device churn: hosts dropping off Wi-Fi mid-study and rejoining later,
+// driven by a FaultPlan's dedicated churn stream. The driver ticks every
+// churn_period_s of sim time, flips each still-online host offline with
+// probability `churn`, and brings it back churn_downtime_s later. Every
+// transition is logged in deterministic (tick, host-index) order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/faults.hpp"
+#include "sim/host.hpp"
+
+namespace roomnet::faults {
+
+struct ChurnEvent {
+  SimTime at;
+  MacAddress mac;
+  std::string label;
+  bool online = false;  // false: went offline; true: came back
+};
+
+class ChurnDriver {
+ public:
+  explicit ChurnDriver(FaultPlan& plan) : plan_(&plan) {}
+  ChurnDriver(const ChurnDriver&) = delete;
+  ChurnDriver& operator=(const ChurnDriver&) = delete;
+  /// Cancels the periodic tick; pending recovery events stay harmless
+  /// (they only touch the hosts, which the owner keeps alive).
+  ~ChurnDriver() { detach(); }
+
+  /// Starts ticking over `hosts` on `loop`. No-op for disabled plans or
+  /// zero churn. The driver, the hosts, and the loop must share a lifetime
+  /// (in the pipeline all three are owned by the same run).
+  void attach(EventLoop& loop, std::vector<Host*> hosts);
+  void detach();
+
+  [[nodiscard]] const std::vector<ChurnEvent>& log() const { return log_; }
+
+ private:
+  void tick();
+
+  FaultPlan* plan_;
+  EventLoop* loop_ = nullptr;
+  std::vector<Host*> hosts_;
+  std::vector<ChurnEvent> log_;
+  std::uint64_t handle_ = 0;
+};
+
+}  // namespace roomnet::faults

@@ -1,0 +1,109 @@
+// roomnet::faults — seeded, deterministic fault injection for the degraded
+// networks the paper's measurements actually ran against: packet loss,
+// duplication, reordering, latency jitter, truncated/corrupted payloads, and
+// device churn (hosts dropping off Wi-Fi mid-study).
+//
+// Determinism contract: every fault decision is drawn from Rng streams
+// seeded from (FaultConfig, seed) and consumed on the single-threaded sim
+// loop in event order, so a fixed seed produces a byte-identical fault
+// pattern at every analysis worker count. A default-constructed FaultPlan
+// (all probabilities zero) is disabled outright — it draws nothing, installs
+// nothing, and a pipeline run with it is byte-identical to the fault-free
+// pipeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netcore/rng.hpp"
+#include "sim/network.hpp"
+
+namespace roomnet::telemetry {
+class Counter;
+}  // namespace roomnet::telemetry
+
+namespace roomnet::faults {
+
+/// Per-run fault intensities. All-zero (the default) = every fault off.
+struct FaultConfig {
+  /// Probability a transmitted frame is dropped before it hits the air.
+  double loss = 0;
+  /// Probability a frame is delivered twice.
+  double duplicate = 0;
+  /// Probability a frame is delayed far enough to land behind successors.
+  double reorder = 0;
+  /// Uniform extra delivery latency in [0, jitter_max_us] microseconds.
+  double jitter_max_us = 0;
+  /// Probability a frame is truncated mid-payload (past the L2 header).
+  double truncate = 0;
+  /// Probability one payload byte of a frame is bit-flipped.
+  double corrupt = 0;
+  /// Probability an online device drops off the network at each churn tick.
+  double churn = 0;
+  /// Churn tick cadence and per-event offline window, in sim seconds.
+  double churn_period_s = 600;
+  double churn_downtime_s = 120;
+
+  [[nodiscard]] bool any() const {
+    return loss > 0 || duplicate > 0 || reorder > 0 || jitter_max_us > 0 ||
+           truncate > 0 || corrupt > 0 || churn > 0;
+  }
+};
+
+/// One input a degraded stage lost (and why) instead of aborting the run.
+/// Collected into PipelineResults::degraded; counted per stage under the
+/// `roomnet_faults_degraded_total{stage=...}` telemetry family.
+struct DegradedResult {
+  std::string stage;    // "scan", "apps", "churn", ...
+  std::string subject;  // device label, app package, ...
+  std::string reason;   // "no probe responses after 2 retries", ...
+
+  friend bool operator==(const DegradedResult&,
+                         const DegradedResult&) = default;
+};
+
+/// Seed for the fault streams: the `ROOMNET_FAULT_SEED` env var when set
+/// (decimal or 0x-hex), else a fixed derivation of the sim seed so the sim
+/// and fault streams stay independent.
+[[nodiscard]] std::uint64_t fault_seed(std::uint64_t sim_seed);
+
+/// The deterministic fault source. Construct once per run, install into the
+/// run's Switch, and (for churn) hand to a ChurnDriver. Not thread-safe by
+/// design: all draws happen on the sim thread.
+class FaultPlan {
+ public:
+  /// Disabled plan: enabled() is false, no stream is ever drawn from.
+  FaultPlan() = default;
+  FaultPlan(FaultConfig config, std::uint64_t seed);
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] const FaultConfig& config() const { return config_; }
+
+  /// Installs this plan's frame hook into `net`. The plan must outlive the
+  /// switch's use of it. Disabled plans install nothing.
+  void install(Switch& net);
+
+  /// Draws the fate of the next transmitted frame. Consumed in transmit
+  /// order on the sim thread; increments the roomnet_faults_* counters for
+  /// whatever it decides.
+  Switch::FrameFate next_frame_fate(std::size_t frame_size);
+
+  /// One churn draw for one host at one churn tick (independent stream, so
+  /// frame-fate volume never shifts churn decisions).
+  bool draw_churn();
+
+ private:
+  FaultConfig config_{};
+  bool enabled_ = false;
+  Rng rng_{0};
+  Rng churn_rng_{0};
+  // Resolved once; the registry returns stable references.
+  telemetry::Counter* dropped_ = nullptr;
+  telemetry::Counter* duplicated_ = nullptr;
+  telemetry::Counter* reordered_ = nullptr;
+  telemetry::Counter* jittered_ = nullptr;
+  telemetry::Counter* truncated_ = nullptr;
+  telemetry::Counter* corrupted_ = nullptr;
+};
+
+}  // namespace roomnet::faults

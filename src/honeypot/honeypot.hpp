@@ -46,6 +46,11 @@ class Honeypot {
   /// DHCPs onto the network and starts serving the persona.
   void start();
 
+  /// DHCP retransmit budget for lossy networks (bounded exponential
+  /// backoff). Must be called before start(); 0 keeps the historical
+  /// single-DISCOVER behavior.
+  void set_dhcp_retries(int retries) { host_.dhcp_max_retries = retries; }
+
   [[nodiscard]] Host& host() { return host_; }
   [[nodiscard]] HoneypotPersona persona() const { return persona_; }
   [[nodiscard]] const std::vector<HoneyToken>& tokens() const { return tokens_; }

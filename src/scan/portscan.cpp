@@ -158,11 +158,80 @@ ScanMetrics& scan_metrics() {
   static ScanMetrics metrics;
   return metrics;
 }
+// Resolved lazily so clean (no-retry) runs never register fault counters.
+telemetry::Counter& probe_retry_counter() {
+  static telemetry::Counter& c = telemetry::Registry::global().counter(
+      "roomnet_faults_probe_retries_total");
+  return c;
+}
+telemetry::Counter& probe_timeout_counter() {
+  static telemetry::Counter& c = telemetry::Registry::global().counter(
+      "roomnet_faults_probe_timeouts_total");
+  return c;
+}
+constexpr std::uint64_t probe_key(std::size_t index, bool udp,
+                                  std::uint16_t port) {
+  return (static_cast<std::uint64_t>(index) << 17) |
+         (static_cast<std::uint64_t>(udp ? 1 : 0) << 16) | port;
+}
 }  // namespace
+
+bool PortScanner::answered(std::size_t index, bool udp,
+                           std::uint16_t port) const {
+  return answered_.contains(probe_key(index, udp, port));
+}
+
+void PortScanner::mark_answered(std::size_t index, bool udp,
+                                std::uint16_t port) {
+  answered_.insert(probe_key(index, udp, port));
+}
+
+void PortScanner::send_tcp_probe(std::size_t index, std::uint16_t port,
+                                 int attempt) {
+  scan_metrics().probes.inc();
+  const ScanTarget& target = reports_[index].target;
+  scanner_->send_raw_tcp(target.ip, scanner_->ephemeral_port(), port,
+                         TcpFlags{.syn = true}, 1, 0);
+  if (config_.max_retries <= 0) return;
+  const double wait =
+      config_.probe_timeout_s * static_cast<double>(1 << attempt);
+  scanner_->loop().schedule_in(
+      SimTime::from_seconds(wait), [this, index, port, attempt] {
+        if (answered(index, false, port)) return;
+        if (attempt >= config_.max_retries) {
+          probe_timeout_counter().inc();
+          return;
+        }
+        probe_retry_counter().inc();
+        send_tcp_probe(index, port, attempt + 1);
+      });
+}
+
+void PortScanner::send_udp_probe(std::size_t index, std::uint16_t port,
+                                 int attempt) {
+  scan_metrics().probes.inc();
+  const ScanTarget& target = reports_[index].target;
+  scanner_->send_udp(target.ip, scanner_->ephemeral_port(), port,
+                     udp_probe_payload(port));
+  if (config_.max_retries <= 0) return;
+  const double wait =
+      config_.probe_timeout_s * static_cast<double>(1 << attempt);
+  scanner_->loop().schedule_in(
+      SimTime::from_seconds(wait), [this, index, port, attempt] {
+        if (answered(index, true, port)) return;
+        if (attempt >= config_.max_retries) {
+          probe_timeout_counter().inc();
+          return;
+        }
+        probe_retry_counter().inc();
+        send_udp_probe(index, port, attempt + 1);
+      });
+}
 
 void PortScanner::start(const std::vector<ScanTarget>& targets) {
   reports_.clear();
   by_ip_.clear();
+  answered_.clear();
   scan_metrics().targets.inc(targets.size());
   EventLoop& loop = scanner_->loop();
   double t = 0.5;  // settle ARP first
@@ -176,20 +245,15 @@ void PortScanner::start(const std::vector<ScanTarget>& targets) {
     scanner_->add_arp_entry(target.ip, target.mac);
   }
 
-  for (const auto& target : targets) {
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const ScanTarget& target = targets[i];
     for (const std::uint16_t port : config_.tcp_ports) {
-      loop.schedule_in(SimTime::from_seconds(t += dt), [this, target, port] {
-        scan_metrics().probes.inc();
-        scanner_->send_raw_tcp(target.ip, scanner_->ephemeral_port(), port,
-                               TcpFlags{.syn = true}, 1, 0);
-      });
+      loop.schedule_in(SimTime::from_seconds(t += dt),
+                       [this, i, port] { send_tcp_probe(i, port, 0); });
     }
     for (const std::uint16_t port : config_.udp_ports) {
-      loop.schedule_in(SimTime::from_seconds(t += dt), [this, target, port] {
-        scan_metrics().probes.inc();
-        scanner_->send_udp(target.ip, scanner_->ephemeral_port(), port,
-                           udp_probe_payload(port));
-      });
+      loop.schedule_in(SimTime::from_seconds(t += dt),
+                       [this, i, port] { send_udp_probe(i, port, 0); });
     }
     for (const std::uint8_t protocol : config_.ip_protocols) {
       loop.schedule_in(SimTime::from_seconds(t += dt), [this, target, protocol] {
@@ -198,7 +262,13 @@ void PortScanner::start(const std::vector<ScanTarget>& targets) {
       });
     }
   }
-  duration_ = SimTime::from_seconds(t + 5);
+  double tail = 5;
+  if (config_.max_retries > 0) {
+    // Leave room for the full backoff ladder of the last-scheduled probe.
+    for (int a = 0; a <= config_.max_retries; ++a)
+      tail += config_.probe_timeout_s * static_cast<double>(1 << a);
+  }
+  duration_ = SimTime::from_seconds(t + tail);
 }
 
 SimTime PortScanner::estimated_duration() const { return duration_; }
@@ -215,6 +285,8 @@ void PortScanner::on_packet(const Packet& packet) {
 
   if (packet.tcp) {
     report.responded_tcp = true;
+    // Any TCP reply (SYN-ACK or RST) settles the probe on that port.
+    mark_answered(it->second, false, value(packet.tcp->src_port));
     if (packet.tcp->flags.syn && packet.tcp->flags.ack) {
       const std::uint16_t port = value(packet.tcp->src_port);
       if (std::find(report.open_tcp.begin(), report.open_tcp.end(), port) ==
@@ -227,6 +299,7 @@ void PortScanner::on_packet(const Packet& packet) {
   } else if (packet.udp) {
     report.responded_udp = true;
     const std::uint16_t port = value(packet.udp->src_port);
+    mark_answered(it->second, true, port);
     if (std::find(report.open_udp.begin(), report.open_udp.end(), port) ==
         report.open_udp.end())
       report.open_udp.push_back(port);
@@ -241,6 +314,8 @@ void PortScanner::on_packet(const Packet& packet) {
         if (std::find(report.closed_udp.begin(), report.closed_udp.end(),
                       dport) == report.closed_udp.end())
           report.closed_udp.push_back(dport);
+        // Provably closed is still an answer: no point retransmitting.
+        mark_answered(it->second, true, dport);
       }
       return;
     }

@@ -7,6 +7,7 @@
 
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,13 @@ struct PortScanConfig {
   std::vector<std::uint16_t> udp_ports;
   std::vector<std::uint8_t> ip_protocols{1, 2, 6, 17, 47, 132};
   double probe_spacing_s = 0.002;
+  /// Retransmit budget per TCP/UDP probe for lossy networks. 0 keeps the
+  /// historical fire-once schedule byte-for-byte. IP-protocol probes are
+  /// never retried: their answers cannot be attributed to one probe.
+  int max_retries = 0;
+  /// Seconds to wait for an answer before retransmitting; doubles with each
+  /// attempt (bounded exponential backoff).
+  double probe_timeout_s = 0.25;
 
   static std::vector<std::uint16_t> default_tcp();
   static std::vector<std::uint16_t> default_udp();
@@ -76,11 +84,19 @@ class PortScanner {
  private:
   void on_packet(const Packet& packet);
   [[nodiscard]] Bytes udp_probe_payload(std::uint16_t port);
+  /// Sends attempt `attempt` of a probe and, when a retry budget is set,
+  /// schedules a timeout check that retransmits until the budget runs out.
+  void send_tcp_probe(std::size_t index, std::uint16_t port, int attempt);
+  void send_udp_probe(std::size_t index, std::uint16_t port, int attempt);
+  [[nodiscard]] bool answered(std::size_t index, bool udp,
+                              std::uint16_t port) const;
+  void mark_answered(std::size_t index, bool udp, std::uint16_t port);
 
   Host* scanner_;
   PortScanConfig config_;
   std::vector<PortScanReport> reports_;
   std::map<Ipv4Address, std::size_t> by_ip_;
+  std::set<std::uint64_t> answered_;
   SimTime duration_;
 };
 

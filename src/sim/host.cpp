@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "netcore/checksum.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace roomnet {
 
@@ -368,6 +369,11 @@ void Host::start_dhcp(std::string hostname, std::string vendor_class,
              if (reply && !reply->is_request) handle_dhcp_reply(*reply);
            });
 
+  send_dhcp_discover();
+  schedule_dhcp_retry(1);
+}
+
+void Host::send_dhcp_discover() {
   DhcpMessage discover;
   discover.is_request = true;
   discover.xid = dhcp_xid_;
@@ -378,6 +384,23 @@ void Host::start_dhcp(std::string hostname, std::string vendor_class,
   if (!dhcp_params_.empty()) discover.set_parameter_request_list(dhcp_params_);
   send_udp(Ipv4Address(255, 255, 255, 255), kDhcpClientPort, kDhcpServerPort,
            encode_dhcp(discover));
+}
+
+void Host::schedule_dhcp_retry(int attempt) {
+  if (attempt > dhcp_max_retries) return;
+  // Exponential backoff: 1x, 2x, 4x, ... the base interval. A lost OFFER or
+  // ACK also lands here — the lease never completed, so the whole exchange
+  // restarts from DISCOVER (the server's per-MAC lease is stable).
+  const double delay =
+      dhcp_retry_base_s * static_cast<double>(1ull << (attempt - 1));
+  loop().schedule_in(SimTime::from_seconds(delay), [this, attempt] {
+    if (has_ip()) return;
+    telemetry::Registry::global()
+        .counter("roomnet_faults_dhcp_retries_total")
+        .inc();
+    send_dhcp_discover();
+    schedule_dhcp_retry(attempt + 1);
+  });
 }
 
 void Host::handle_dhcp_reply(const DhcpMessage& msg) {

@@ -86,6 +86,13 @@ class Host : public NetworkNode {
   void enable_ipv6(bool on) { ipv6_enabled_ = on; }
   [[nodiscard]] bool ipv6_enabled() const { return ipv6_enabled_; }
 
+  /// Device churn (roomnet::faults): an offline host's radio is down — the
+  /// switch drops its transmissions and never delivers to it. Protocol
+  /// state (leases, TCP connections, timers) survives the outage, like a
+  /// device dropping off Wi-Fi and rejoining.
+  void set_online(bool on) { online_ = on; }
+  [[nodiscard]] bool online() const override { return online_; }
+
   // -- behavior knobs (per-vendor policies set by the testbed layer) ----
   /// §5.1: only 58% of lab devices answer broadcast ARP sweeps, but all
   /// answer targeted requests for their own IP.
@@ -101,6 +108,13 @@ class Host : public NetworkNode {
   void start_dhcp(std::string hostname, std::string vendor_class,
                   std::vector<std::uint8_t> param_request_list);
   std::function<void(Host&)> on_ip_acquired;
+  /// Bounded DHCP retransmit for lossy networks: when > 0, the DISCOVER is
+  /// re-broadcast up to this many times with exponential backoff
+  /// (dhcp_retry_base_s * 2^attempt) while no lease has been acquired.
+  /// 0 (default) preserves the historical fire-once behavior exactly: the
+  /// retry checks are never scheduled.
+  int dhcp_max_retries = 0;
+  double dhcp_retry_base_s = 2.0;
 
   // -- ARP --------------------------------------------------------------
   /// Broadcast ARP request for one IP.
@@ -187,6 +201,8 @@ class Host : public NetworkNode {
   };
 
   void deliver_ipv4(Bytes ip_packet, Ipv4Address dst);
+  void send_dhcp_discover();
+  void schedule_dhcp_retry(int attempt);
   void handle_arp(const ArpPacket& arp);
   void handle_ipv4(const Packet& packet);
   void handle_ipv6(const Packet& packet);
@@ -206,6 +222,7 @@ class Host : public NetworkNode {
   Ipv6Address link_local_;
   std::string label_;
   bool ipv6_enabled_ = true;
+  bool online_ = true;
 
   std::unordered_map<Ipv4Address, MacAddress> arp_cache_;
   std::unordered_map<Ipv4Address, std::vector<PendingSend>> arp_pending_;

@@ -67,17 +67,38 @@ void Switch::detach(const NetworkNode& node) {
 
 void Switch::transmit(BytesView frame, const NetworkNode* sender) {
   if (frame.size() < 14) return;  // runt
+  if (sender != nullptr && !sender->online()) {
+    // Radio off: the frame never reaches the air (nor the AP capture).
+    telemetry::Registry::global()
+        .counter("roomnet_faults_frames_offline_total")
+        .inc();
+    return;
+  }
+  Bytes copy(frame.begin(), frame.end());
+  int copies = 1;
+  SimTime extra_delay;
+  if (fault_hook_) {
+    const FrameFate fate = fault_hook_(copy.size());
+    if (fate.drop) return;
+    if (fate.truncate_to != 0 && fate.truncate_to < copy.size())
+      copy.resize(fate.truncate_to);
+    if (fate.corrupt_mask != 0 && fate.corrupt_at < copy.size())
+      copy[fate.corrupt_at] ^= fate.corrupt_mask;
+    copies = fate.copies;
+    extra_delay = fate.extra_delay;
+  }
   ++frames_;
   SwitchMetrics& metrics = switch_metrics();
   metrics.frames.inc();
-  metrics.bytes.inc(frame.size());
-  for (const auto& tap : taps_) tap(loop_->now(), frame);
+  metrics.bytes.inc(copy.size());
+  for (const auto& tap : taps_) tap(loop_->now(), BytesView(copy));
 
-  // One event per frame; the fan-out happens inside deliver().
-  loop_->schedule_in(kPropagationDelay,
-                     [this, sender, copy = Bytes(frame.begin(), frame.end())] {
-                       deliver(copy, sender);
-                     });
+  // One event per frame; the fan-out happens inside deliver(). Duplicated
+  // frames deliver back-to-back at the same (jittered) timestamp.
+  for (int c = 0; c < copies; ++c) {
+    loop_->schedule_in(kPropagationDelay + extra_delay,
+                       [this, sender, copy] { deliver(copy, sender); });
+  }
 }
 
 void Switch::deliver(const Bytes& frame, const NetworkNode* sender) {
@@ -93,13 +114,15 @@ void Switch::deliver(const Bytes& frame, const NetworkNode* sender) {
   if (!dst.is_multicast()) {
     const auto it = by_mac_.find(dst);
     if (it != by_mac_.end()) {
-      if (it->second != sender) it->second->receive(*packet, BytesView(frame));
+      // Offline receivers (device churn) miss the frame entirely.
+      if (it->second != sender && it->second->online())
+        it->second->receive(*packet, BytesView(frame));
       return;
     }
     // Unknown unicast floods, like a real switch before learning.
   }
   for (NetworkNode* node : nodes_) {
-    if (node == sender) continue;
+    if (node == sender || !node->online()) continue;
     node->receive(*packet, BytesView(frame));
   }
 }

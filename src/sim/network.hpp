@@ -27,6 +27,9 @@ class NetworkNode {
   /// `packet` is the shared decode of `raw`; implementations must not retain
   /// references past the call.
   virtual void receive(const Packet& packet, BytesView raw) = 0;
+  /// Whether the node's radio is up. Offline nodes (device churn, §faults)
+  /// neither transmit nor receive; the switch consults this per frame.
+  [[nodiscard]] virtual bool online() const { return true; }
 };
 
 class Switch {
@@ -37,12 +40,38 @@ class Switch {
   /// receivers' decode. Preferred for streaming analysis.
   using PacketTap = std::function<void(SimTime, const Packet&, BytesView)>;
 
+  /// Per-frame verdict of the fault-injection hook (roomnet::faults). The
+  /// default-constructed fate is "deliver exactly once, unmodified, after
+  /// the standard propagation delay" — i.e. the lossless network.
+  struct FrameFate {
+    bool drop = false;
+    /// Delivery count: 1 normal, 2 duplicated.
+    int copies = 1;
+    /// Extra delivery latency on top of the propagation delay (jitter;
+    /// values past ~2x the propagation delay push a frame behind its
+    /// successors, i.e. reordering).
+    SimTime extra_delay;
+    /// When nonzero and smaller than the frame: cut the frame to this many
+    /// bytes before it hits the air (taps see the truncated frame too).
+    std::size_t truncate_to = 0;
+    /// When `corrupt_mask` is nonzero and `corrupt_at` is in range, byte
+    /// `corrupt_at` is XORed with the mask.
+    std::size_t corrupt_at = 0;
+    std::uint8_t corrupt_mask = 0;
+  };
+  /// Consulted once per transmitted frame, in transmit order, on the sim
+  /// thread — so a deterministic hook yields a deterministic fault pattern.
+  using FaultHook = std::function<FrameFate(std::size_t frame_size)>;
+
   explicit Switch(EventLoop& loop) : loop_(&loop) {}
 
   void attach(NetworkNode& node);
   void detach(const NetworkNode& node);
   void add_tap(Tap tap) { taps_.push_back(std::move(tap)); }
   void add_packet_tap(PacketTap tap) { packet_taps_.push_back(std::move(tap)); }
+  /// Installs (or, with an empty hook, removes) the fault-injection hook.
+  /// Without a hook the switch is the historical lossless network.
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
 
   /// Queues a frame for delivery after the propagation delay. The sender
   /// never receives its own frame back.
@@ -62,6 +91,7 @@ class Switch {
   std::unordered_map<MacAddress, NetworkNode*> by_mac_;
   std::vector<Tap> taps_;
   std::vector<PacketTap> packet_taps_;
+  FaultHook fault_hook_;
   std::uint64_t frames_ = 0;
 };
 
