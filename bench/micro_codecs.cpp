@@ -5,7 +5,7 @@
 #include "analysis/identifiers.hpp"
 #include "classify/classifier.hpp"
 #include "classify/periodicity.hpp"
-#include "crowd/sha256.hpp"
+#include "netcore/sha256.hpp"
 #include "netcore/packet.hpp"
 #include "netcore/pcap.hpp"
 #include "netcore/rng.hpp"

@@ -39,28 +39,38 @@ def main():
 
     current = load(args.current)
     baseline = load(args.baseline)
+    name = current.get("name", args.current)
+
+    def summary(compared, skipped):
+        print(
+            f"bench_guard: summary — {compared} compared, {skipped} skipped"
+        )
 
     current_hw = current.get("scalars", {}).get("hardware_threads")
     baseline_hw = baseline.get("scalars", {}).get("hardware_threads")
     if current_hw != baseline_hw:
         print(
-            f"bench_guard: SKIP — hardware_threads {current_hw} does not "
-            f"match baseline {baseline_hw}; wall-clock comparison would be noise"
+            f"bench_guard: SKIP {name} — hardware_threads {current_hw} does "
+            f"not match baseline {baseline_hw}; wall-clock comparison would "
+            f"be noise"
         )
+        summary(compared=0, skipped=1)
         return 0
 
     current_s = float(current["wall_s"])
     baseline_s = float(baseline["wall_s"])
     if baseline_s <= 0:
-        print("bench_guard: SKIP — baseline wall_s is not positive")
+        print(f"bench_guard: SKIP {name} — baseline wall_s is not positive")
+        summary(compared=0, skipped=1)
         return 0
 
     ratio = (current_s - baseline_s) / baseline_s
     print(
-        f"bench_guard: {current.get('name', args.current)}: "
+        f"bench_guard: {name}: "
         f"wall {current_s:.3f}s vs baseline {baseline_s:.3f}s "
         f"({ratio:+.1%}, limit +{args.max_regression:.0%})"
     )
+    summary(compared=1, skipped=0)
     if ratio > args.max_regression:
         print("bench_guard: FAIL — wall time regressed past the limit")
         return 1

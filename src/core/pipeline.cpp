@@ -1,12 +1,15 @@
 #include "core/pipeline.hpp"
 
 #include <chrono>
+#include <fstream>
 #include <optional>
 
 #include "capture/filter.hpp"
 #include "capture/flow.hpp"
+#include "core/provenance.hpp"
 #include "exec/parallel.hpp"
 #include "exec/task_pool.hpp"
+#include "obs/log.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -24,7 +27,10 @@ class StageTimer {
         loop_(&loop),
         span_(stage, "pipeline"),
         wall_start_(std::chrono::steady_clock::now()),
-        sim_start_(loop.now()) {}
+        sim_start_(loop.now()) {
+    ROOMNET_LOG(kInfo, "pipeline", "stage_begin", kv("stage", stage_),
+                kv("sim_us", sim_start_.us()));
+  }
 
   ~StageTimer() {
     const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -36,6 +42,9 @@ class StageTimer {
     registry
         .gauge("roomnet_pipeline_stage_sim_seconds", {{"stage", stage_}})
         .set(static_cast<std::int64_t>((loop_->now() - sim_start_).seconds()));
+    ROOMNET_LOG(kInfo, "pipeline", "stage_end", kv("stage", stage_),
+                kv("wall_ms", static_cast<std::int64_t>(wall_ms)),
+                kv("sim_us", loop_->now().us()));
   }
 
  private:
@@ -46,23 +55,33 @@ class StageTimer {
   SimTime sim_start_;
 };
 
-/// Points the global tracer's sim clock at this run's event loop for the
-/// duration of run(); cleared on exit so spans never read a dead lab.
+/// Points the global tracer's and log ledger's sim clocks at this run's
+/// event loop for the duration of run(); cleared on exit so spans and log
+/// records never read a dead lab.
 class SimClockGuard {
  public:
   explicit SimClockGuard(EventLoop& loop) {
     telemetry::Tracer::global().set_sim_clock([&loop] { return loop.now(); });
+    obs::Ledger::global().set_sim_clock([&loop] { return loop.now(); });
   }
-  ~SimClockGuard() { telemetry::Tracer::global().set_sim_clock(nullptr); }
+  ~SimClockGuard() {
+    telemetry::Tracer::global().set_sim_clock(nullptr);
+    obs::Ledger::global().set_sim_clock(nullptr);
+  }
 };
 
-}  // namespace
-
-namespace {
 telemetry::Counter& degraded_counter(const char* stage) {
   return telemetry::Registry::global().counter("roomnet_faults_degraded_total",
                                                {{"stage", stage}});
 }
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << content;
+  return out.good();
+}
+
 }  // namespace
 
 Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
@@ -87,12 +106,39 @@ PipelineResults Pipeline::run() {
   // results are byte-identical for any worker count.
   exec::TaskPool pool(
       config_.threads <= 0 ? 0 : static_cast<std::size_t>(config_.threads));
-  telemetry::Registry::global()
-      .gauge("roomnet_exec_pool_threads")
+  auto& registry = telemetry::Registry::global();
+  registry.gauge("roomnet_exec_pool_threads")
       .set(static_cast<std::int64_t>(pool.threads()));
   SimClockGuard sim_clock(lab_->loop());
   std::optional<telemetry::ScopedSpan> pipeline_span;
   pipeline_span.emplace("pipeline", "pipeline");
+
+  // Provenance: every stage ends with a content hash of its outputs in the
+  // run manifest. Exec task counters are global and cumulative, so stage
+  // deltas are taken against this run's starting values.
+  telemetry::Counter& tasks_submitted =
+      registry.counter("roomnet_exec_tasks_submitted_total");
+  telemetry::Counter& tasks_completed =
+      registry.counter("roomnet_exec_tasks_completed_total");
+  const std::uint64_t tasks_submitted_epoch = tasks_submitted.value();
+  const std::uint64_t tasks_completed_epoch = tasks_completed.value();
+  const std::uint64_t resolved_fault_seed = faults::fault_seed(config_.seed);
+  const std::string config_digest = pipeline_config_digest(config_);
+  obs::ManifestBuilder manifest;
+  manifest.begin(config_.seed, resolved_fault_seed, config_digest,
+                 static_cast<int>(pool.threads()));
+  const auto record_stage = [&](const char* name, std::string content_hash) {
+    manifest.add_stage(name, std::move(content_hash), lab_->loop().now().us(),
+                       tasks_submitted.value() - tasks_submitted_epoch,
+                       tasks_completed.value() - tasks_completed_epoch);
+  };
+  // Log records from this run on (the global ledger outlives the pipeline).
+  const std::uint64_t log_epoch = obs::Ledger::global().recorded();
+  ROOMNET_LOG(kInfo, "pipeline", "run_start", kv("seed", config_.seed),
+              kv("fault_seed", resolved_fault_seed),
+              kv("config_digest", config_digest),
+              kv("threads", static_cast<std::uint64_t>(pool.threads())),
+              kv("faults_enabled", fault_plan_->enabled()));
 
   PipelineResults results;
   for (const auto& device : lab_->devices())
@@ -111,6 +157,8 @@ PipelineResults Pipeline::run() {
     } catch (const std::exception& e) {
       results.degraded.push_back({stage, "stage", e.what()});
       degraded_counter(stage).inc();
+      ROOMNET_LOG(kWarn, "pipeline", "stage_degraded", kv("stage", stage),
+                  kv("reason", e.what()));
     }
   };
 
@@ -124,14 +172,20 @@ PipelineResults Pipeline::run() {
 
   // Streaming consumers over the decoded tap (no frame retention). The
   // cross-validation's per-packet pass reads `decoded` through a PacketView
-  // projection, so the capture is held exactly once.
+  // projection, so the capture is held exactly once. The capture hasher
+  // folds every local frame (timestamp + raw bytes) into a running SHA-256;
+  // snapshots at stage boundaries become the sim stages' manifest hashes,
+  // pinning a determinism break to the first window whose traffic moved.
   std::vector<std::pair<SimTime, Packet>> decoded;
   const LocalFilter filter;
   FlowTable flow_table;
+  obs::CanonicalHasher capture_hash;
   lab_->network().add_packet_tap(
-      [&](SimTime at, const Packet& packet, BytesView) {
+      [&](SimTime at, const Packet& packet, BytesView raw) {
         if (!filter.matches(packet)) return;
         ++results.local_packets;
+        capture_hash.i64(at.us());
+        capture_hash.bytes(raw);
         decoded.emplace_back(at, packet);
         flow_table.add(at, packet);
       });
@@ -141,15 +195,18 @@ PipelineResults Pipeline::run() {
     StageTimer stage("lab_boot", lab_->loop());
     lab_->start_all();
   }
+  record_stage("lab_boot", capture_hash.hex());
   {
     StageTimer stage("idle", lab_->loop());
     lab_->run_idle(config_.idle_duration);
   }
+  record_stage("idle", capture_hash.hex());
 
   // --- Stage 2: interactions (§3.1) ------------------------------------
   if (config_.interactions > 0) {
     StageTimer stage("interactions", lab_->loop());
     lab_->run_interactions(config_.interactions);
+    record_stage("interactions", capture_hash.hex());
   }
 
   // --- Stage 3: passive analyses (§4.1, §5.1, C.2, D.2) ----------------
@@ -170,6 +227,7 @@ PipelineResults Pipeline::run() {
            [&] { results.responses = correlate_responses(decoded); }});
       results.flows = flows.size();
     });
+    record_stage("classify", hash_classify_stage(results));
   }
 
   // --- Stage 4: active scan + vulnerability audit (§4.2, §5.2) ----------
@@ -185,10 +243,14 @@ PipelineResults Pipeline::run() {
           // Lost to faults (dropped DHCP past the retry budget, or offline
           // through churn): scan what answered, record what could not.
           if (fault_plan_->enabled()) {
+            const std::string label =
+                device->spec().vendor + " " + device->spec().model;
             results.degraded.push_back(
-                {"scan", device->spec().vendor + " " + device->spec().model,
-                 "no IPv4 lease at scan time"});
+                {"scan", label, "no IPv4 lease at scan time"});
             degraded_counter("scan").inc();
+            ROOMNET_LOG(kWarn, "scan", "target_unreachable",
+                        kv("device", label),
+                        kv("reason", "no IPv4 lease at scan time"));
           }
           continue;
         }
@@ -209,6 +271,9 @@ PipelineResults Pipeline::run() {
           results.degraded.push_back({"scan", report.target.label,
                                       "silent under scan despite retries"});
           degraded_counter("scan").inc();
+          ROOMNET_LOG(kWarn, "scan", "target_silent",
+                      kv("device", report.target.label),
+                      kv("reason", "silent under scan despite retries"));
         }
       }
 
@@ -218,6 +283,7 @@ PipelineResults Pipeline::run() {
       results.audits = prober.audits();
       results.vulnerabilities = scan_vulnerabilities(results.audits, pool);
     });
+    record_stage("scan", hash_scan_stage(results));
   }
 
   // --- Stage 5: app campaign (§3.2, §6.1, §6.2) -------------------------
@@ -245,12 +311,16 @@ PipelineResults Pipeline::run() {
             results.degraded.push_back(
                 {"apps", spec.package, "discovery scans returned no devices"});
             degraded_counter("apps").inc();
+            ROOMNET_LOG(kWarn, "apps", "discovery_empty",
+                        kv("package", spec.package),
+                        kv("reason", "discovery scans returned no devices"));
           }
         }
       }
       results.app_stats = summarize_campaign(records);
       results.exfiltration = detect_exfiltration(records);
     });
+    record_stage("apps", hash_apps_stage(results));
   }
 
   // --- Stage 6: crowdsourced entropy analysis (§6.3) --------------------
@@ -261,6 +331,7 @@ PipelineResults Pipeline::run() {
       const InspectorDataset dataset = generate_inspector_dataset(crowd_rng);
       results.fingerprints = fingerprint_households(dataset, pool);
     });
+    record_stage("crowd", hash_crowd_stage(results));
   }
 
   // Churn ledger: every outage the run absorbed, in deterministic order.
@@ -276,9 +347,32 @@ PipelineResults Pipeline::run() {
       degraded_counter("churn").inc();
     }
   }
+  // The degradation ledger is itself a manifest stage: churn outages and
+  // stage losses under faults must replay identically across thread counts.
+  record_stage("degraded", hash_degraded_ledger(results.degraded));
+
+  results.manifest = manifest.finish();
+  ROOMNET_LOG(kInfo, "pipeline", "run_end",
+              kv("result_digest", results.manifest.result_digest),
+              kv("stages",
+                 static_cast<std::uint64_t>(results.manifest.stages.size())),
+              kv("degraded",
+                 static_cast<std::uint64_t>(results.degraded.size())));
 
   pipeline_span.reset();  // close the whole-run span before exporting
-  if (telemetry_run) roomnet_telemetry_report(config_.telemetry_out);
+  if (telemetry_run) {
+    roomnet_telemetry_report(config_.telemetry_out);
+    write_text_file(config_.telemetry_out + "/manifest.json",
+                    obs::to_json(results.manifest));
+    write_text_file(config_.telemetry_out + "/resources.json",
+                    obs::resources_to_json(results.manifest));
+    // This run's slice of the global ledger (empty file when logging is off
+    // — CI uploads the artifact unconditionally).
+    std::vector<obs::LogRecord> run_logs;
+    for (auto& record : obs::Ledger::global().records())
+      if (record.seq >= log_epoch) run_logs.push_back(std::move(record));
+    obs::write_jsonl(config_.telemetry_out + "/logs.jsonl", run_logs);
+  }
   return results;
 }
 

@@ -16,6 +16,7 @@
 #include "classify/response.hpp"
 #include "crowd/entropy.hpp"
 #include "faults/churn.hpp"
+#include "obs/manifest.hpp"
 #include "scan/vuln.hpp"
 #include "testbed/lab.hpp"
 
@@ -76,6 +77,10 @@ struct PipelineResults {
   /// Graceful-degradation ledger (empty unless faults are enabled): inputs
   /// a stage lost to injected faults, recorded instead of failing the run.
   std::vector<faults::DegradedResult> degraded;
+  /// Flight-recorder provenance: build + seeds + per-stage content hashes.
+  /// Byte-identical (as obs::to_json) across thread counts for one seed;
+  /// written to `telemetry_out/manifest.json` when telemetry is enabled.
+  obs::RunManifest manifest;
 };
 
 class Pipeline {

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "crowd/sha256.hpp"
+#include "netcore/sha256.hpp"
 #include "netcore/uuid.hpp"
 
 namespace roomnet {

@@ -76,7 +76,7 @@ TaskPool::TaskPool(std::size_t threads)
   latency_us_ = &registry.histogram("roomnet_exec_task_latency_us");
   workers_.reserve(threads_ - 1);
   for (std::size_t i = 0; i + 1 < threads_; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 TaskPool::~TaskPool() {
@@ -116,7 +116,12 @@ void TaskPool::run_task(std::function<void()>& task) {
   completed_->inc();
 }
 
-void TaskPool::worker_loop() {
+void TaskPool::worker_loop(std::size_t index) {
+  // Claim a trace track up front so the worker's spans (and the Chrome
+  // trace's thread_name metadata) attribute to "pool-worker-N" even when
+  // tracing is enabled mid-run.
+  telemetry::Tracer::global().set_thread_name("pool-worker-" +
+                                              std::to_string(index + 1));
   for (;;) {
     std::function<void()> task;
     {

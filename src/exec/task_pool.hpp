@@ -72,7 +72,7 @@ class TaskPool {
   static std::size_t default_threads();
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t index);
   void run_task(std::function<void()>& task);
 
   std::size_t threads_;

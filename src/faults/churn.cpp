@@ -1,5 +1,6 @@
 #include "faults/churn.hpp"
 
+#include "obs/log.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace roomnet::faults {
@@ -42,11 +43,14 @@ void ChurnDriver::tick() {
     host->set_online(false);
     offline_counter().inc();
     log_.push_back({loop_->now(), host->mac(), host->label(), false});
+    ROOMNET_LOG(kInfo, "churn", "device_offline", kv("device", host->label()),
+                kv("downtime_s", plan_->config().churn_downtime_s));
     loop_->schedule_in(downtime, [this, host] {
       host->set_online(true);
       online_counter().inc();
       log_.push_back(
           {host->loop().now(), host->mac(), host->label(), true});
+      ROOMNET_LOG(kInfo, "churn", "device_online", kv("device", host->label()));
     });
   }
 }

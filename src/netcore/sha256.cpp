@@ -1,0 +1,164 @@
+#include "netcore/sha256.hpp"
+
+#include <algorithm>
+
+namespace roomnet {
+
+namespace {
+
+constexpr std::uint32_t kRoundConstants[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+std::uint32_t rotr(std::uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
+
+}  // namespace
+
+void Sha256::process_block(const std::uint8_t* block) {
+  std::uint32_t w[64];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+           block[4 * i + 3];
+  }
+  for (int i = 16; i < 64; ++i) {
+    const std::uint32_t s0 =
+        rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const std::uint32_t s1 =
+        rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
+  std::uint32_t e = h_[4], f = h_[5], g = h_[6], hh = h_[7];
+  for (int i = 0; i < 64; ++i) {
+    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t temp1 = hh + s1 + ch + kRoundConstants[i] + w[i];
+    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t temp2 = s0 + maj;
+    hh = g;
+    g = f;
+    f = e;
+    e = d + temp1;
+    d = c;
+    c = b;
+    b = a;
+    a = temp1 + temp2;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+  h_[5] += f;
+  h_[6] += g;
+  h_[7] += hh;
+}
+
+void Sha256::update(BytesView data) {
+  total_bytes_ += data.size();
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min<std::size_t>(64 - buffered_, data.size());
+    std::copy(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(take),
+              buffer_ + buffered_);
+    buffered_ += take;
+    offset = take;
+    if (buffered_ < 64) return;
+    process_block(buffer_);
+    buffered_ = 0;
+  }
+  while (offset + 64 <= data.size()) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    std::copy(data.begin() + static_cast<std::ptrdiff_t>(offset), data.end(),
+              buffer_);
+    buffered_ = data.size() - offset;
+  }
+}
+
+Sha256Digest Sha256::digest() const {
+  // Finalize a copy so the stream can keep accepting updates.
+  Sha256 state = *this;
+  std::uint8_t tail[128] = {};
+  const std::size_t rem = state.buffered_;
+  std::copy(state.buffer_, state.buffer_ + rem, tail);
+  tail[rem] = 0x80;
+  const std::size_t tail_len = (rem + 1 + 8 <= 64) ? 64 : 128;
+  const std::uint64_t bit_len = state.total_bytes_ * 8;
+  for (int i = 0; i < 8; ++i)
+    tail[tail_len - 8 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  state.process_block(tail);
+  if (tail_len == 128) state.process_block(tail + 64);
+
+  Sha256Digest digest;
+  for (int i = 0; i < 8; ++i) {
+    digest[static_cast<std::size_t>(4 * i)] =
+        static_cast<std::uint8_t>(state.h_[i] >> 24);
+    digest[static_cast<std::size_t>(4 * i + 1)] =
+        static_cast<std::uint8_t>(state.h_[i] >> 16);
+    digest[static_cast<std::size_t>(4 * i + 2)] =
+        static_cast<std::uint8_t>(state.h_[i] >> 8);
+    digest[static_cast<std::size_t>(4 * i + 3)] =
+        static_cast<std::uint8_t>(state.h_[i]);
+  }
+  return digest;
+}
+
+std::string Sha256::hex() const {
+  const Sha256Digest d = digest();
+  return to_hex(BytesView(d));
+}
+
+Sha256Digest sha256(BytesView data) {
+  Sha256 state;
+  state.update(data);
+  return state.digest();
+}
+
+Sha256Digest hmac_sha256(BytesView key, BytesView message) {
+  std::array<std::uint8_t, 64> key_block{};
+  if (key.size() > 64) {
+    const Sha256Digest hashed = sha256(key);
+    std::copy(hashed.begin(), hashed.end(), key_block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), key_block.begin());
+  }
+  Bytes inner;
+  inner.reserve(64 + message.size());
+  for (const std::uint8_t b : key_block) inner.push_back(b ^ 0x36);
+  inner.insert(inner.end(), message.begin(), message.end());
+  const Sha256Digest inner_hash = sha256(BytesView(inner));
+
+  Bytes outer;
+  outer.reserve(64 + 32);
+  for (const std::uint8_t b : key_block) outer.push_back(b ^ 0x5c);
+  outer.insert(outer.end(), inner_hash.begin(), inner_hash.end());
+  return sha256(BytesView(outer));
+}
+
+std::string sha256_hex(BytesView data) {
+  const Sha256Digest d = sha256(data);
+  return to_hex(BytesView(d));
+}
+
+std::string hmac_sha256_hex(BytesView key, BytesView message) {
+  const Sha256Digest d = hmac_sha256(key, message);
+  return to_hex(BytesView(d));
+}
+
+}  // namespace roomnet

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/log.hpp"
 #include "telemetry/metrics.hpp"
 
 #include "proto/coap.hpp"
@@ -200,9 +201,17 @@ void PortScanner::send_tcp_probe(std::size_t index, std::uint16_t port,
         if (answered(index, false, port)) return;
         if (attempt >= config_.max_retries) {
           probe_timeout_counter().inc();
+          ROOMNET_LOG(kDebug, "scan", "probe_timeout",
+                      kv("target", reports_[index].target.label),
+                      kv("port", port), kv("proto", "tcp"),
+                      kv("attempts", attempt + 1));
           return;
         }
         probe_retry_counter().inc();
+        ROOMNET_LOG(kDebug, "scan", "probe_retry",
+                    kv("target", reports_[index].target.label),
+                    kv("port", port), kv("proto", "tcp"),
+                    kv("attempt", attempt + 1));
         send_tcp_probe(index, port, attempt + 1);
       });
 }
@@ -221,9 +230,17 @@ void PortScanner::send_udp_probe(std::size_t index, std::uint16_t port,
         if (answered(index, true, port)) return;
         if (attempt >= config_.max_retries) {
           probe_timeout_counter().inc();
+          ROOMNET_LOG(kDebug, "scan", "probe_timeout",
+                      kv("target", reports_[index].target.label),
+                      kv("port", port), kv("proto", "udp"),
+                      kv("attempts", attempt + 1));
           return;
         }
         probe_retry_counter().inc();
+        ROOMNET_LOG(kDebug, "scan", "probe_retry",
+                    kv("target", reports_[index].target.label),
+                    kv("port", port), kv("proto", "udp"),
+                    kv("attempt", attempt + 1));
         send_udp_probe(index, port, attempt + 1);
       });
 }
@@ -233,6 +250,13 @@ void PortScanner::start(const std::vector<ScanTarget>& targets) {
   by_ip_.clear();
   answered_.clear();
   scan_metrics().targets.inc(targets.size());
+  ROOMNET_LOG(kInfo, "scan", "scan_start",
+              kv("targets", static_cast<std::uint64_t>(targets.size())),
+              kv("tcp_ports",
+                 static_cast<std::uint64_t>(config_.tcp_ports.size())),
+              kv("udp_ports",
+                 static_cast<std::uint64_t>(config_.udp_ports.size())),
+              kv("max_retries", config_.max_retries));
   EventLoop& loop = scanner_->loop();
   double t = 0.5;  // settle ARP first
   const double dt = config_.probe_spacing_s;

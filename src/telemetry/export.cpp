@@ -31,6 +31,23 @@ std::string escape_json(const std::string& s) {
   return out;
 }
 
+/// Prometheus text format escapes exactly backslash, double-quote, and
+/// newline inside label values (exposition-format spec); every other byte
+/// passes through verbatim.
+std::string prom_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string prom_label_block(const Labels& labels) {
   if (labels.empty()) return {};
   std::string out = "{";
@@ -38,7 +55,7 @@ std::string prom_label_block(const Labels& labels) {
   for (const auto& [k, v] : labels) {
     if (!first) out += ",";
     first = false;
-    out += k + "=\"" + v + "\"";
+    out += k + "=\"" + prom_escape(v) + "\"";
   }
   out += "}";
   return out;
@@ -156,12 +173,23 @@ std::string trace_to_chrome_json(const Tracer& tracer) {
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   char buf[256];
+  // Per-thread tracks: name each registered thread via `thread_name`
+  // metadata events so Perfetto labels the main thread and pool workers.
+  for (const auto& [tid, name] : tracer.thread_names()) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "\n  {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+                  tid, escape_json(name).c_str());
+    out += buf;
+  }
   for (const TraceEvent& e : tracer.snapshot()) {
     if (!first) out += ",";
     first = false;
+    std::snprintf(buf, sizeof(buf), "\",\"pid\":1,\"tid\":%d", e.tid);
     out += "\n  {\"name\":\"" + escape_json(e.name) + "\",\"cat\":\"" +
-           escape_json(e.category) + "\",\"ph\":\"" + e.phase +
-           "\",\"pid\":1,\"tid\":1";
+           escape_json(e.category) + "\",\"ph\":\"" + e.phase + buf;
     if (e.phase == 'X') {
       std::snprintf(buf, sizeof(buf),
                     ",\"ts\":%" PRIu64 ",\"dur\":%" PRIu64, e.wall_start_us,

@@ -32,8 +32,30 @@ SimTime Tracer::sim_now() const {
   return sim_clock_ ? sim_clock_() : SimTime{};
 }
 
+int Tracer::tid_locked() {
+  const auto [it, inserted] = tids_.try_emplace(std::this_thread::get_id(), 0);
+  if (inserted) it->second = next_tid_++;
+  return it->second;
+}
+
+int Tracer::current_tid() {
+  std::lock_guard lock(mutex_);
+  return tid_locked();
+}
+
+void Tracer::set_thread_name(std::string name) {
+  std::lock_guard lock(mutex_);
+  thread_names_[tid_locked()] = std::move(name);
+}
+
+std::vector<std::pair<int, std::string>> Tracer::thread_names() const {
+  std::lock_guard lock(mutex_);
+  return {thread_names_.begin(), thread_names_.end()};
+}
+
 void Tracer::push(TraceEvent&& event) {
   std::lock_guard lock(mutex_);
+  event.tid = tid_locked();
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(event));
   } else {
@@ -115,6 +137,7 @@ ScopedSpan::~ScopedSpan() {
 
 void enable(std::size_t trace_capacity) {
   Tracer::global().enable(trace_capacity);
+  Tracer::global().set_thread_name("main");
 }
 
 void disable() { Tracer::global().disable(); }

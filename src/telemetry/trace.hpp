@@ -14,8 +14,11 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "netcore/time.hpp"
@@ -26,6 +29,7 @@ struct TraceEvent {
   std::string name;
   std::string category;
   char phase = 'X';            // 'X' complete span, 'i' instant
+  int tid = 1;                 // per-thread track (see Tracer::current_tid)
   std::uint64_t wall_start_us = 0;  // since Tracer::enable()
   std::uint64_t wall_dur_us = 0;    // complete spans only
   std::int64_t sim_start_us = 0;    // SimTime at span begin
@@ -57,6 +61,17 @@ class Tracer {
   [[nodiscard]] std::uint64_t wall_now_us() const;
   [[nodiscard]] SimTime sim_now() const;
 
+  /// Small stable id for the calling thread (1-based, in first-seen order),
+  /// assigned lazily — events record it so each thread gets its own track
+  /// in the Chrome trace. Ids persist across enable() cycles.
+  [[nodiscard]] int current_tid();
+  /// Names the calling thread's track (exported as a `thread_name` metadata
+  /// event). Pool workers register as "pool-worker-N"; enable() names the
+  /// enabling thread "main".
+  void set_thread_name(std::string name);
+  /// (tid, name) pairs for every named thread, ordered by tid.
+  [[nodiscard]] std::vector<std::pair<int, std::string>> thread_names() const;
+
   /// Events in recording order (oldest surviving first). The ring keeps the
   /// newest `capacity` events; older ones are overwritten.
   [[nodiscard]] std::vector<TraceEvent> snapshot() const;
@@ -69,6 +84,8 @@ class Tracer {
  private:
   void push(TraceEvent&& event);
 
+  int tid_locked();  // requires mutex_ held
+
   std::atomic<bool> enabled_{false};
   mutable std::mutex mutex_;
   std::vector<TraceEvent> ring_;
@@ -76,6 +93,11 @@ class Tracer {
   std::uint64_t recorded_ = 0;
   std::chrono::steady_clock::time_point epoch_{};
   std::function<SimTime()> sim_clock_;
+  // Thread-track registry: survives enable() cycles so workers registered
+  // before tracing starts keep their names.
+  std::map<std::thread::id, int> tids_;
+  std::map<int, std::string> thread_names_;
+  int next_tid_ = 1;
 };
 
 /// RAII span: records one complete trace event from construction to

@@ -1,11 +1,14 @@
 // End-to-end pipeline test: one (reduced-scale) run of the full study.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "core/roomnet.hpp"
+#include "obs/log.hpp"
+#include "obs/manifest.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -132,6 +135,8 @@ TEST(PipelineDeterminism, ByteIdenticalAcrossThreadCounts) {
   EXPECT_FALSE(base.vulnerabilities.empty());
   EXPECT_FALSE(base.fingerprints.rows.empty());
   EXPECT_GT(base.crossval.total, 100u);
+  EXPECT_FALSE(base.manifest.stages.empty());
+  EXPECT_FALSE(base.manifest.result_digest.empty());
 
   for (const int threads : {2, 4}) {
     SCOPED_TRACE("threads=" + std::to_string(threads));
@@ -191,7 +196,76 @@ TEST(PipelineDeterminism, ByteIdenticalAcrossThreadCounts) {
       // from inputs that are themselves worker-count invariant.
       EXPECT_EQ(a.entropy_bits, b.entropy_bits) << i;
     }
+
+    // The flight-recorder manifest is the machine-checkable form of all the
+    // assertions above: byte-identical manifest.json across thread counts.
+    EXPECT_EQ(obs::to_json(r.manifest), obs::to_json(base.manifest));
+    const obs::ManifestDiff diff = obs::diff_manifests(base.manifest, r.manifest);
+    EXPECT_TRUE(diff.equal) << diff.detail;
   }
+}
+
+TEST(PipelineDeterminism, AuditNamesFirstDivergentStageAcrossFaultSeeds) {
+  // Two runs that differ only in the injected fault stream: the manifests
+  // must disagree, and diff_manifests() must attribute the divergence to a
+  // named stage rather than a generic "results differ".
+  PipelineConfig config;
+  config.idle_duration = SimTime::from_minutes(10);
+  config.interactions = 0;
+  config.app_sample = 0;
+  config.run_scan = false;
+  config.run_crowd = false;
+  config.faults.loss = 0.05;
+
+  const auto run_with_fault_seed = [&](const char* seed) {
+    EXPECT_EQ(setenv("ROOMNET_FAULT_SEED", seed, /*overwrite=*/1), 0);
+    Pipeline pipeline(config);
+    const PipelineResults r = pipeline.run();
+    unsetenv("ROOMNET_FAULT_SEED");
+    return r.manifest;
+  };
+  const obs::RunManifest a = run_with_fault_seed("0x1111");
+  const obs::RunManifest b = run_with_fault_seed("0x2222");
+  EXPECT_EQ(a.sim_seed, b.sim_seed);
+  EXPECT_EQ(a.config_digest, b.config_digest);
+  EXPECT_NE(a.fault_seed, b.fault_seed);
+
+  const obs::ManifestDiff diff = obs::diff_manifests(a, b);
+  EXPECT_FALSE(diff.equal);
+  // The fault-seed mismatch is noted but does not stop the audit: the walk
+  // continues to name the first stage the diverging fault stream touched.
+  EXPECT_EQ(diff.component, "stage") << diff.detail;
+  EXPECT_FALSE(diff.stage.empty());
+}
+
+TEST(PipelineDeterminism, StructuredLoggingDoesNotPerturbResults) {
+  PipelineConfig config;
+  config.idle_duration = SimTime::from_minutes(10);
+  config.interactions = 20;
+  config.app_sample = 5;
+  config.run_scan = false;
+  config.run_crowd = false;
+  config.faults.loss = 0.02;  // exercise the fault-path kDebug log sites
+
+  obs::Ledger& ledger = obs::Ledger::global();
+  const obs::LogLevel saved = ledger.level();
+  ledger.set_level(obs::LogLevel::kOff);
+  Pipeline quiet(config);
+  const PipelineResults r_quiet = quiet.run();
+
+  ledger.set_level(obs::LogLevel::kDebug);
+  Pipeline verbose(config);
+  const PipelineResults r_verbose = verbose.run();
+  const std::uint64_t recorded = ledger.recorded();
+  ledger.set_level(saved);
+
+  // Logging observed plenty...
+  EXPECT_GT(recorded, 0u);
+  // ...and changed nothing: bit-for-bit identical manifests.
+  EXPECT_EQ(obs::to_json(r_quiet.manifest), obs::to_json(r_verbose.manifest));
+  EXPECT_TRUE(obs::diff_manifests(r_quiet.manifest, r_verbose.manifest).equal);
+  EXPECT_EQ(r_quiet.local_packets, r_verbose.local_packets);
+  EXPECT_EQ(r_quiet.flows, r_verbose.flows);
 }
 
 TEST(PipelineTelemetry, PopulatesStageMetricsWithoutChangingResults) {
@@ -247,6 +321,16 @@ TEST(PipelineTelemetry, PopulatesStageMetricsWithoutChangingResults) {
   // The report landed on disk and the trace carries one span per stage.
   EXPECT_TRUE(std::filesystem::exists(out_dir / "metrics.prom"));
   EXPECT_TRUE(std::filesystem::exists(out_dir / "metrics.json"));
+
+  // Run provenance rides along: the deterministic manifest, its volatile
+  // resources sidecar, and the JSONL log export (possibly empty).
+  EXPECT_TRUE(std::filesystem::exists(out_dir / "resources.json"));
+  EXPECT_TRUE(std::filesystem::exists(out_dir / "logs.jsonl"));
+  const std::optional<obs::RunManifest> manifest =
+      obs::load_manifest((out_dir / "manifest.json").string());
+  ASSERT_TRUE(manifest.has_value());
+  EXPECT_TRUE(obs::diff_manifests(r2.manifest, *manifest).equal);
+
   ASSERT_TRUE(std::filesystem::exists(out_dir / "trace.json"));
   std::ifstream trace_file(out_dir / "trace.json");
   std::stringstream trace;

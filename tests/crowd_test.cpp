@@ -9,7 +9,7 @@
 #include "crowd/inference.hpp"
 #include "crowd/geocode.hpp"
 #include "crowd/inspector.hpp"
-#include "crowd/sha256.hpp"
+#include "netcore/sha256.hpp"
 
 namespace roomnet {
 namespace {

@@ -11,7 +11,7 @@
 #include "classify/periodicity.hpp"
 #include "crowd/entropy.hpp"
 #include "crowd/inspector.hpp"
-#include "crowd/sha256.hpp"
+#include "netcore/sha256.hpp"
 #include "netcore/checksum.hpp"
 #include "netcore/packet.hpp"
 #include "netcore/pcap.hpp"

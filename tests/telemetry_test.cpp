@@ -3,6 +3,8 @@
 // exporter golden strings.
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -156,6 +158,35 @@ TEST(Exporters, PrometheusHistogramIsCumulative) {
   EXPECT_NE(out.find("roomnet_test_latency_us_count 3\n"), std::string::npos);
 }
 
+TEST(Exporters, PrometheusEscapesHostileLabelValues) {
+  // The exposition format escapes exactly backslash, double-quote, and
+  // newline inside label values; a raw quote or newline would corrupt the
+  // sample line for any conforming scraper.
+  Registry r;
+  r.counter("roomnet_test_hostile_total", {{"stage", "a\\b\"c\nd"}}).inc();
+  const std::string out = to_prometheus(r);
+  EXPECT_NE(
+      out.find("roomnet_test_hostile_total{stage=\"a\\\\b\\\"c\\nd\"} 1\n"),
+      std::string::npos);
+  // The raw (unescaped) newline must not survive inside the label block.
+  EXPECT_EQ(out.find("c\nd"), std::string::npos);
+}
+
+TEST(Exporters, PrometheusHistogramInfBucketEqualsCount) {
+  Registry r;
+  Histogram& h = r.histogram("roomnet_test_inf_us");
+  // Span the full range, including a value that saturates the last bucket:
+  // the +Inf bucket is cumulative over every bucket and must equal _count.
+  for (const std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{7},
+        std::uint64_t{1} << 20, ~std::uint64_t{0}})
+    h.observe(v);
+  const std::string out = to_prometheus(r);
+  EXPECT_NE(out.find("roomnet_test_inf_us_bucket{le=\"+Inf\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("roomnet_test_inf_us_count 5\n"), std::string::npos);
+}
+
 TEST(Exporters, JsonGoldenString) {
   Registry r;
   r.counter("roomnet_test_total", {{"proto", "udp"}}).inc(2);
@@ -218,6 +249,55 @@ TEST(Tracer, ChromeJsonExportCarriesSpans) {
   EXPECT_NE(json.find("\"name\":\"marker\""), std::string::npos);
   EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
   EXPECT_NE(json.find("\"sim_start_us\":1000"), std::string::npos);
+}
+
+TEST(Tracer, RingOverwriteKeepsEmissionOrderAcrossMultipleWraps) {
+  Tracer t;
+  t.enable(/*capacity=*/3);
+  for (int i = 0; i < 11; ++i)
+    t.record_instant("ev" + std::to_string(i), "t");
+  EXPECT_EQ(t.recorded(), 11u);
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].name, "ev8");
+  EXPECT_EQ(events[1].name, "ev9");
+  EXPECT_EQ(events[2].name, "ev10");
+}
+
+TEST(Tracer, EventsFromDistinctThreadsGetDistinctTids) {
+  Tracer t;
+  t.enable(16);
+  t.record_instant("main-ev", "t");
+  std::thread([&t] {
+    t.set_thread_name("pool-worker-1");
+    t.record_instant("worker-ev", "t");
+  }).join();
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+  // The worker's registered name attaches to the worker's tid.
+  bool named = false;
+  for (const auto& [tid, name] : t.thread_names())
+    named |= tid == events[1].tid && name == "pool-worker-1";
+  EXPECT_TRUE(named);
+}
+
+TEST(Tracer, ChromeJsonEmitsThreadNameMetadataAndPerThreadTids) {
+  Tracer t;
+  t.enable(16);
+  t.set_thread_name("main");
+  { ScopedSpan span("stage", "pipeline", t); }
+  std::thread([&t] {
+    t.set_thread_name("pool-worker-1");
+    t.record_instant("task", "exec");
+  }).join();
+  const std::string json = trace_to_chrome_json(t);
+  EXPECT_NE(json.find("\"name\":\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"main\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"pool-worker-1\"}"),
+            std::string::npos);
+  // The worker's event rides its own track, not the hardcoded tid 1.
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
 }
 
 TEST(Tracer, SpanStartedWhileDisabledStaysSilent) {
