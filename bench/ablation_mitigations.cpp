@@ -99,25 +99,25 @@ int main() {
       if (hardened) {
         // Rebuild hardened (CapturedLab has no flag; construct manually).
       }
-      return analyze_exposure(captured_lab.decoded);
+      return analyze_exposure(captured_lab.store);
     };
     // Baseline.
     CapturedLab baseline(SimTime::from_minutes(90), 42, 150);
-    const ExposureMatrix base_matrix = analyze_exposure(baseline.decoded);
+    const ExposureMatrix base_matrix = analyze_exposure(baseline.store);
 
     // Hardened lab.
     Lab hardened(LabConfig{.seed = 42, .record_frames = false,
                            .privacy_hardening = true});
-    std::vector<std::pair<SimTime, Packet>> hardened_decoded;
+    CaptureStore hardened_store;
     const LocalFilter filter;
     hardened.network().add_packet_tap(
-        [&](SimTime at, const Packet& packet, BytesView) {
-          if (filter.matches(packet)) hardened_decoded.emplace_back(at, packet);
+        [&](SimTime at, const PacketView& packet, BytesView raw) {
+          if (filter.matches(packet)) hardened_store.append(at, packet, raw);
         });
     hardened.start_all();
     hardened.run_idle(SimTime::from_minutes(90));
     hardened.run_interactions(150);
-    const ExposureMatrix hard_matrix = analyze_exposure(hardened_decoded);
+    const ExposureMatrix hard_matrix = analyze_exposure(hardened_store);
 
     std::printf("   filled exposure cells:      baseline %2zu -> hardened %2zu\n",
                 exposure_cells(base_matrix), exposure_cells(hard_matrix));

@@ -22,7 +22,7 @@ int main() {
     auto operator<=>(const GroupKey&) const = default;
   };
   std::map<GroupKey, std::vector<SimTime>> groups;
-  lab.network().add_packet_tap([&](SimTime at, const Packet& packet, BytesView) {
+  lab.network().add_packet_tap([&](SimTime at, const PacketView& packet, BytesView) {
     const ProtocolLabel label = classifier.classify_packet(packet);
     const bool interesting =
         is_discovery_protocol(label) || label == ProtocolLabel::kUnknown;

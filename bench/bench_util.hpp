@@ -85,13 +85,15 @@ inline void header(const std::string& artifact, const std::string& title) {
   (void)registered;
 }
 
-/// Lab booted and idled for `idle` virtual time, with a streaming decoded
+/// Lab booted and idled for `idle` virtual time, with a streaming arena
 /// capture. Wall-clock cost scales with idle; 2 h ≈ 10 s on a laptop core.
+/// Each local frame is copied exactly once, into the store's arena; the
+/// flow table's payload views point into the same arena (which outlives the
+/// table — both live here).
 struct CapturedLab {
   Lab lab;
-  std::vector<std::pair<SimTime, Packet>> decoded;
+  CaptureStore store;
   FlowTable flows;
-  std::vector<Packet> packets;
   std::set<MacAddress> population;
 
   explicit CapturedLab(SimTime idle, std::uint64_t seed = 42,
@@ -99,11 +101,10 @@ struct CapturedLab {
       : lab(LabConfig{.seed = seed, .record_frames = false}) {
     const LocalFilter filter;
     lab.network().add_packet_tap(
-        [this, filter](SimTime at, const Packet& packet, BytesView) {
+        [this, filter](SimTime at, const PacketView& packet, BytesView raw) {
           if (!filter.matches(packet)) return;
-          decoded.emplace_back(at, packet);
-          flows.add(at, packet);
-          packets.push_back(packet);
+          const PacketView stored = store.append(at, packet, raw);
+          flows.add(at, stored);
         });
     for (const auto& device : lab.devices()) population.insert(device->mac());
     lab.start_all();

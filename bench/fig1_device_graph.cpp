@@ -10,7 +10,7 @@ int main() {
   header("Figure 1", "device-to-device transport-layer communication graph");
   CapturedLab captured(SimTime::from_hours(3), 42, 400);
 
-  const CommGraph graph = build_comm_graph(captured.decoded, captured.population);
+  const CommGraph graph = build_comm_graph(captured.store, captured.population);
   const auto nodes = graph.connected_nodes();
 
   std::printf("\nconnected devices:  measured %zu / 93   (paper: 43/93)\n",

@@ -12,7 +12,7 @@ int main() {
 
   // --- passive series ---------------------------------------------------
   CapturedLab captured(SimTime::from_hours(4), 42, 600);
-  const ProtocolUsage usage = protocol_usage(captured.decoded);
+  const ProtocolUsage usage = protocol_usage(captured.store);
   const auto pct = [&](ProtocolLabel label) {
     return 100.0 *
            static_cast<double>(

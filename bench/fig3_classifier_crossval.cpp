@@ -13,7 +13,7 @@ int main() {
   CapturedLab captured(SimTime::from_hours(3), 42, 400);
 
   const CrossValidation cv =
-      cross_validate(captured.flows.flows(), captured.packets);
+      cross_validate(captured.flows.flows(), captured.store);
 
   std::printf("\nitems cross-validated: %zu packets+flows "
               "(paper: 366K over 5 days)\n", cv.total);

@@ -18,7 +18,7 @@ int main() {
     for (const auto& device : captured.lab.devices())
       if (device->spec().vendor == vendor) members.insert(device->mac());
 
-    const CommGraph graph = build_comm_graph(captured.decoded, members);
+    const CommGraph graph = build_comm_graph(captured.store, members);
     std::printf("\n%s cluster: %zu devices, %zu communicating, %zu edges\n",
                 vendor.c_str(), members.size(),
                 graph.connected_nodes().size(), graph.edges.size());

@@ -1,0 +1,267 @@
+// Packet hot-path benchmark: replays one recorded frame corpus through the
+// legacy owning capture path and through the zero-copy path, ingress to
+// classify — the loop DESIGN.md §10 describes. A counting global allocator
+// reports heap bytes and allocation calls per frame for the ingress stage
+// of each path; the headline scalar is the ingress allocation reduction
+// ratio (the PR's acceptance bar is >= 4x).
+//
+// The legacy path reconstructs, step for step, what the pre-arena pipeline
+// allocated per frame (see the seed revision of sim/network.cpp and
+// core/pipeline.cpp):
+//   1. Switch::transmit copied the frame into an owning Bytes,
+//   2. the delivery closure captured that Bytes by value (second copy),
+//   3. Switch::deliver ran the owning decode_frame (one owning Bytes per
+//      layer payload),
+//   4. the pipeline's PacketTap deep-copied the whole Packet into its
+//      vector<pair<SimTime, Packet>> capture,
+//   5. FlowTable::add copied the transport payload into the owning
+//      FlowPacket::payload.
+// The zero-copy path is the shipped code: view decode, one arena append,
+// flow views into the arena.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "bench_util.hpp"
+
+// ---------------------------------------------------------------------------
+// Counting allocator: every global new/delete is tallied so the two replay
+// loops can report exact heap traffic. Allocation itself stays malloc.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_heap_bytes{0};
+std::atomic<std::uint64_t> g_heap_calls{0};
+
+void* counted_alloc(std::size_t n) {
+  g_heap_bytes.fetch_add(n, std::memory_order_relaxed);
+  g_heap_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  g_heap_bytes.fetch_add(n, std::memory_order_relaxed);
+  g_heap_calls.fetch_add(1, std::memory_order_relaxed);
+  const auto a = static_cast<std::size_t>(al);
+  if (void* p = std::aligned_alloc(a, (n + a - 1) / a * a)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+using namespace roomnet;
+using namespace roomnet::bench;
+
+namespace {
+
+struct HeapSnapshot {
+  std::uint64_t bytes;
+  std::uint64_t calls;
+};
+
+HeapSnapshot heap_now() {
+  return {g_heap_bytes.load(std::memory_order_relaxed),
+          g_heap_calls.load(std::memory_order_relaxed)};
+}
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Peak resident set (VmHWM) in KiB, from /proc/self/status; 0 if absent.
+double peak_rss_kib() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  double kib = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kib = std::strtod(line + 6, nullptr);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib;
+}
+
+struct PathResult {
+  double ingress_ms = 0;
+  double classify_ms = 0;
+  std::uint64_t ingress_heap_bytes = 0;
+  std::uint64_t ingress_heap_calls = 0;
+  std::size_t frames = 0;  // accepted local frames, summed over reps
+  std::size_t flows = 0;
+  std::uint64_t label_checksum = 0;  // keeps classification from being elided
+
+  [[nodiscard]] double bytes_per_frame() const {
+    return frames == 0 ? 0
+                       : static_cast<double>(ingress_heap_bytes) / frames;
+  }
+  [[nodiscard]] double calls_per_frame() const {
+    return frames == 0 ? 0
+                       : static_cast<double>(ingress_heap_calls) / frames;
+  }
+  [[nodiscard]] double frames_per_sec() const {
+    const double total = ingress_ms + classify_ms;
+    return total <= 0 ? 0 : frames / (total / 1000.0);
+  }
+};
+
+PathResult run_legacy(const std::vector<std::pair<SimTime, Bytes>>& corpus,
+                      int reps) {
+  const LocalFilter filter;
+  const HybridClassifier classifier;
+  PathResult out;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::vector<std::pair<SimTime, Packet>> capture;
+    FlowTable flows;
+    // Owning FlowPacket::payload copies, as the pre-arena flow table made
+    // (today's FlowPacket holds a view, so the copy is reconstructed here).
+    std::vector<Bytes> flow_payloads;
+
+    const HeapSnapshot before = heap_now();
+    auto start = std::chrono::steady_clock::now();
+    for (const auto& [at, frame] : corpus) {
+      Bytes transmit_copy(frame.begin(), frame.end());     // (1)
+      const Bytes closure_copy = transmit_copy;            // (2)
+      const auto packet = decode_frame(BytesView(closure_copy));  // (3)
+      if (!packet || !filter.matches(*packet)) continue;
+      capture.emplace_back(at, *packet);                   // (4) deep copy
+      flows.add(at, capture.back().second);
+      const BytesView payload = packet->app_payload();
+      if (!payload.empty())
+        flow_payloads.emplace_back(payload.begin(), payload.end());  // (5)
+    }
+    out.ingress_ms += ms_since(start);
+    const HeapSnapshot after = heap_now();
+    out.ingress_heap_bytes += after.bytes - before.bytes;
+    out.ingress_heap_calls += after.calls - before.calls;
+
+    start = std::chrono::steady_clock::now();
+    for (const auto& [at, packet] : capture)
+      out.label_checksum +=
+          static_cast<std::uint64_t>(classifier.classify_packet(packet));
+    out.classify_ms += ms_since(start);
+    out.frames += capture.size();
+    out.flows = flows.flows().size();
+  }
+  return out;
+}
+
+PathResult run_zero_copy(const std::vector<std::pair<SimTime, Bytes>>& corpus,
+                         int reps) {
+  const LocalFilter filter;
+  const HybridClassifier classifier;
+  PathResult out;
+  for (int rep = 0; rep < reps; ++rep) {
+    CaptureStore store;
+    FlowTable flows;
+
+    const HeapSnapshot before = heap_now();
+    auto start = std::chrono::steady_clock::now();
+    for (const auto& [at, frame] : corpus) {
+      const auto view = decode_frame_view(BytesView(frame));
+      if (!view || !filter.matches(*view)) continue;
+      const PacketView stored = store.append(at, *view, BytesView(frame));
+      flows.add(at, stored);
+    }
+    out.ingress_ms += ms_since(start);
+    const HeapSnapshot after = heap_now();
+    out.ingress_heap_bytes += after.bytes - before.bytes;
+    out.ingress_heap_calls += after.calls - before.calls;
+
+    start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < store.size(); ++i)
+      out.label_checksum += static_cast<std::uint64_t>(
+          classifier.classify_packet(store.packet(i)));
+    out.classify_ms += ms_since(start);
+    out.frames += store.size();
+    out.flows = flows.flows().size();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  header("packet_path", "capture hot path: owning copies vs zero-copy arena");
+
+  // Record a frame corpus once (setup, unmeasured): the testbed's idle
+  // chatter plus user interactions, raw bytes only.
+  std::vector<std::pair<SimTime, Bytes>> corpus;
+  {
+    Lab lab(LabConfig{.seed = 42, .record_frames = false});
+    lab.network().add_packet_tap(
+        [&corpus](SimTime at, const PacketView&, BytesView raw) {
+          corpus.emplace_back(at, Bytes(raw.begin(), raw.end()));
+        });
+    lab.start_all();
+    lab.run_idle(SimTime::from_minutes(30));
+    lab.run_interactions(100);
+  }
+  std::printf("\ncorpus: %zu frames\n", corpus.size());
+
+  constexpr int kReps = 3;
+  const PathResult legacy = run_legacy(corpus, kReps);
+  const PathResult zero = run_zero_copy(corpus, kReps);
+
+  const double reduction =
+      zero.ingress_heap_bytes == 0
+          ? 0
+          : static_cast<double>(legacy.ingress_heap_bytes) /
+                static_cast<double>(zero.ingress_heap_bytes);
+  const double speedup =
+      zero.ingress_ms <= 0 ? 0 : legacy.ingress_ms / zero.ingress_ms;
+  const bool same_results = legacy.frames == zero.frames &&
+                            legacy.flows == zero.flows &&
+                            legacy.label_checksum == zero.label_checksum;
+
+  std::printf("\n%-28s %14s %14s\n", "path", "legacy", "zero-copy");
+  std::printf("%-28s %14zu %14zu\n", "frames processed", legacy.frames,
+              zero.frames);
+  std::printf("%-28s %12.1fms %12.1fms\n", "ingress wall time",
+              legacy.ingress_ms, zero.ingress_ms);
+  std::printf("%-28s %12.1fms %12.1fms\n", "classify wall time",
+              legacy.classify_ms, zero.classify_ms);
+  std::printf("%-28s %14.0f %14.0f\n", "frames/sec (end to end)",
+              legacy.frames_per_sec(), zero.frames_per_sec());
+  std::printf("%-28s %14.1f %14.1f\n", "ingress heap bytes/frame",
+              legacy.bytes_per_frame(), zero.bytes_per_frame());
+  std::printf("%-28s %14.2f %14.2f\n", "ingress heap calls/frame",
+              legacy.calls_per_frame(), zero.calls_per_frame());
+  std::printf("\ningress allocation reduction: %.1fx   ingress speedup: %.2fx\n",
+              reduction, speedup);
+  std::printf("identical frame/flow/label results: %s\n",
+              same_results ? "yes" : "NO — BUG");
+  std::printf("peak RSS: %.0f KiB\n", peak_rss_kib());
+
+  scalar("corpus_frames", static_cast<double>(corpus.size()));
+  scalar("legacy_frames_per_sec", legacy.frames_per_sec());
+  scalar("zerocopy_frames_per_sec", zero.frames_per_sec());
+  scalar("legacy_ingress_heap_bytes_per_frame", legacy.bytes_per_frame());
+  scalar("zerocopy_ingress_heap_bytes_per_frame", zero.bytes_per_frame());
+  scalar("legacy_ingress_heap_calls_per_frame", legacy.calls_per_frame());
+  scalar("zerocopy_ingress_heap_calls_per_frame", zero.calls_per_frame());
+  scalar("alloc_reduction_ratio", reduction);
+  scalar("ingress_speedup", speedup);
+  scalar("results_identical", same_results ? 1 : 0);
+  scalar("peak_rss_kib", peak_rss_kib());
+  scalar("hardware_threads",
+         static_cast<double>(exec::TaskPool::default_threads()));
+  return same_results && reduction >= 4.0 ? 0 : 1;
+}

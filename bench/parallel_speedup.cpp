@@ -71,7 +71,7 @@ int main() {
   const std::vector<DeviceAudit> audits = synthetic_audits(93 * 8);
   std::printf("\ninputs: %zu packets, %zu flows, %zu inspector devices, "
               "%zu audits\n",
-              captured.decoded.size(), captured.flows.flows().size(),
+              captured.store.size(), captured.flows.flows().size(),
               dataset.devices.size(), audits.size());
 
   struct StageTimes {
@@ -89,7 +89,7 @@ int main() {
     exec::TaskPool pool(threads);
     StageTimes t;
     auto start = std::chrono::steady_clock::now();
-    t.cv = cross_validate(captured.flows.flows(), captured.packets, pool);
+    t.cv = cross_validate(captured.flows.flows(), captured.store, pool);
     t.classify_ms = ms_since(start);
     start = std::chrono::steady_clock::now();
     t.fp = fingerprint_households(dataset, pool);

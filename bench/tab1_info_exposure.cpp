@@ -11,7 +11,7 @@ int main() {
   header("Table 1", "information exposure per discovery protocol");
   CapturedLab captured(SimTime::from_hours(3), 42, 300);
 
-  const ExposureMatrix matrix = analyze_exposure(captured.decoded);
+  const ExposureMatrix matrix = analyze_exposure(captured.store);
 
   // Paper's filled cells (from §5.1's findings).
   const std::set<std::pair<ProtocolLabel, ExposedData>> paper_cells = {

@@ -27,7 +27,7 @@ int main() {
   header("Table 4", "discovery protocols and responses per device group");
   CapturedLab captured(SimTime::from_hours(3), 42, 0);
 
-  const ResponseStats stats = correlate_responses(captured.decoded);
+  const ResponseStats stats = correlate_responses(captured.store);
 
   struct GroupAgg {
     double protocols = 0;

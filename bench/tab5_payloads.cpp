@@ -37,7 +37,8 @@ int main() {
   }
 
   // --- mDNS (Philips Hue hostname embedding the MAC tail) ----------------
-  for (const auto& [at, packet] : captured.decoded) {
+  for (std::size_t i = 0; i < captured.store.size(); ++i) {
+    const PacketView packet = captured.store.packet(i);
     if (!packet.udp || value(packet.udp->dst_port) != 5353) continue;
     const auto msg = decode_dns(packet.app_payload());
     if (!msg || !msg->is_response) continue;
@@ -79,8 +80,9 @@ int main() {
                "phone2");
     phone.set_static_ip(Ipv4Address(192, 168, 10, 254));
     std::string sysinfo;
-    phone.open_udp(40000, [&sysinfo](Host&, const Packet&, const UdpDatagram& u) {
-      const auto body = decode_tplink_udp(BytesView(u.payload));
+    phone.open_udp(40000, [&sysinfo](Host&, const PacketView&,
+                                     const UdpDatagramView& u) {
+      const auto body = decode_tplink_udp(u.payload);
       if (body) sysinfo = body->dump();
     });
     phone.send_udp(plug->host().ip(), 40000, kTplinkPort,

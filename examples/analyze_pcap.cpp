@@ -35,32 +35,33 @@ int main(int argc, char** argv) {
     filter.subnet = *subnet;
   }
 
-  // Decode + filter to local traffic (Appendix C.1 rule).
-  std::vector<std::pair<SimTime, Packet>> decoded;
+  // Decode + filter to local traffic (Appendix C.1 rule). Zero-copy path:
+  // each local frame is appended exactly once into the arena-backed store
+  // and every analysis below reads views of the stored bytes.
+  CaptureStore store;
   FlowTable flows;
-  std::vector<Packet> packets;
   std::size_t undecodable = 0, nonlocal = 0;
   for (const auto& record : *records) {
-    auto packet = decode_frame(BytesView(record.frame));
-    if (!packet) {
+    const auto view = decode_frame_view(BytesView(record.frame));
+    if (!view) {
       ++undecodable;
       continue;
     }
-    if (!filter.matches(*packet)) {
+    if (!filter.matches(*view)) {
       ++nonlocal;
       continue;
     }
-    flows.add(record.timestamp, *packet);
-    packets.push_back(*packet);
-    decoded.emplace_back(record.timestamp, std::move(*packet));
+    const PacketView stored =
+        store.append(record.timestamp, *view, BytesView(record.frame));
+    flows.add(record.timestamp, stored);
   }
   std::printf("%s: %zu frames (%zu undecodable, %zu non-local), %zu local "
               "packets, %zu flows\n",
-              argv[1], records->size(), undecodable, nonlocal, decoded.size(),
+              argv[1], records->size(), undecodable, nonlocal, store.size(),
               flows.flows().size());
 
   // Protocol mix per source device.
-  const ProtocolUsage usage = protocol_usage(decoded);
+  const ProtocolUsage usage = protocol_usage(store);
   std::set<MacAddress> population;
   for (const auto& [mac, labels] : usage.by_device) population.insert(mac);
   std::printf("\n%zu devices seen; protocol usage (devices using each):\n",
@@ -71,14 +72,14 @@ int main(int argc, char** argv) {
   }
 
   // Classifier cross-validation over the capture.
-  const CrossValidation cv = cross_validate(flows.flows(), packets);
+  const CrossValidation cv = cross_validate(flows.flows(), store);
   std::printf("\nclassifier cross-validation: %.1f%% agree, %.1f%% disagree, "
               "%.1f%% unlabeled by both\n",
               100 * cv.agreement_rate(), 100 * cv.disagreement_rate(),
               100 * cv.unlabeled_rate());
 
   // Exposure matrix.
-  const ExposureMatrix exposure = analyze_exposure(decoded);
+  const ExposureMatrix exposure = analyze_exposure(store);
   std::printf("\ninformation exposure observed:\n");
   for (const ProtocolLabel protocol : exposure_protocols()) {
     std::string row;
@@ -93,7 +94,8 @@ int main(int argc, char** argv) {
 
   // Identifiers harvestable from discovery payload text.
   std::set<ExtractedIdentifier> identifiers;
-  for (const auto& [at, packet] : decoded) {
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    const PacketView packet = store.packet(i);
     if (!packet.udp) continue;
     const std::string text = string_of(packet.app_payload());
     for (auto& id : extract_identifiers(text)) identifiers.insert(std::move(id));

@@ -82,10 +82,10 @@ bool old_dhcp_client(const std::string& vendor_class) {
          vendor_class.find("RTOS") != std::string::npos;
 }
 
-}  // namespace
-
-ExposureMatrix analyze_exposure(
-    const std::vector<std::pair<SimTime, Packet>>& capture) {
+/// Shared extraction loop: get(i) may return a Packet or a PacketView —
+/// every read below is a field or payload-slice access valid on both.
+template <typename GetPacket>
+ExposureMatrix analyze_exposure_impl(std::size_t n, const GetPacket& get) {
   ExposureMatrix matrix;
   const auto mark = [&](ProtocolLabel protocol, ExposedData data,
                         MacAddress device) {
@@ -93,7 +93,8 @@ ExposureMatrix analyze_exposure(
   };
 
   HybridClassifier classifier;
-  for (const auto& [at, packet] : capture) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& packet = get(i);
     const MacAddress src = packet.eth.src;
 
     // ----- ARP: every request/reply broadcasts sender MAC/IP bindings.
@@ -196,7 +197,8 @@ ExposureMatrix analyze_exposure(
 
   // SSDP also exposes MAC/model via serialNumber in the description XML
   // (fetched over HTTP — TCP flows). Scan TCP payloads for UPnP documents.
-  for (const auto& [at, packet] : capture) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& packet = get(i);
     if (!packet.tcp) continue;
     const std::string text = string_of(packet.app_payload());
     if (text.find("<serialNumber>") == std::string::npos) continue;
@@ -212,6 +214,22 @@ ExposureMatrix analyze_exposure(
           packet.eth.src);
   }
   return matrix;
+}
+
+}  // namespace
+
+ExposureMatrix analyze_exposure(
+    const std::vector<std::pair<SimTime, Packet>>& capture) {
+  return analyze_exposure_impl(
+      capture.size(),
+      [&](std::size_t i) -> const Packet& { return capture[i].second; });
+}
+
+ExposureMatrix analyze_exposure(const CaptureStore& capture) {
+  return analyze_exposure_impl(capture.size(),
+                               [&](std::size_t i) -> PacketView {
+                                 return capture.packet(i);
+                               });
 }
 
 }  // namespace roomnet

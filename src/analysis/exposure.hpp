@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "capture/capture_store.hpp"
 #include "classify/label.hpp"
 #include "netcore/packet.hpp"
 #include "netcore/time.hpp"
@@ -49,6 +50,8 @@ struct ExposureMatrix {
 /// nothing is taken from simulator ground truth.
 ExposureMatrix analyze_exposure(
     const std::vector<std::pair<SimTime, Packet>>& capture);
+/// Zero-copy variant: reads payload slices straight out of the arena.
+ExposureMatrix analyze_exposure(const CaptureStore& capture);
 
 /// The protocols Table 1 rows cover, in paper order.
 const std::vector<ProtocolLabel>& exposure_protocols();

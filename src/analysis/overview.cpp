@@ -20,15 +20,36 @@ std::set<ProtocolLabel> ProtocolUsage::all_labels() const {
   return out;
 }
 
-ProtocolUsage protocol_usage(
-    const std::vector<std::pair<SimTime, Packet>>& capture) {
+namespace {
+
+/// Shared over owning Packets and arena-backed PacketViews; get(i) may
+/// return either (classify_packet resolves the overload).
+template <typename GetPacket>
+ProtocolUsage protocol_usage_impl(std::size_t n, const GetPacket& get) {
   HybridClassifier classifier;
   ProtocolUsage usage;
-  for (const auto& [at, packet] : capture) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& packet = get(i);
     const ProtocolLabel label = classifier.classify_packet(packet);
     usage.by_device[packet.eth.src].insert(label);
   }
   return usage;
+}
+
+}  // namespace
+
+ProtocolUsage protocol_usage(
+    const std::vector<std::pair<SimTime, Packet>>& capture) {
+  return protocol_usage_impl(
+      capture.size(),
+      [&](std::size_t i) -> const Packet& { return capture[i].second; });
+}
+
+ProtocolUsage protocol_usage(const CaptureStore& capture) {
+  return protocol_usage_impl(capture.size(),
+                             [&](std::size_t i) -> PacketView {
+                               return capture.packet(i);
+                             });
 }
 
 std::set<MacAddress> CommGraph::connected_nodes() const {
@@ -48,12 +69,15 @@ const CommGraph::Edge* CommGraph::find(MacAddress a, MacAddress b) const {
   return nullptr;
 }
 
-CommGraph build_comm_graph(
-    const std::vector<std::pair<SimTime, Packet>>& capture,
-    const std::set<MacAddress>& population) {
+namespace {
+
+template <typename GetPacket>
+CommGraph build_comm_graph_impl(std::size_t n, const GetPacket& get,
+                                const std::set<MacAddress>& population) {
   HybridClassifier classifier;
   std::map<std::pair<MacAddress, MacAddress>, CommGraph::Edge> edges;
-  for (const auto& [at, packet] : capture) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& packet = get(i);
     if (packet.eth.dst.is_multicast()) continue;  // Figure 1 excludes these
     if (!packet.has_transport()) continue;
     if (population.count(packet.eth.src) == 0 ||
@@ -77,6 +101,25 @@ CommGraph build_comm_graph(
   graph.edges.reserve(edges.size());
   for (auto& [key, edge] : edges) graph.edges.push_back(edge);
   return graph;
+}
+
+}  // namespace
+
+CommGraph build_comm_graph(
+    const std::vector<std::pair<SimTime, Packet>>& capture,
+    const std::set<MacAddress>& population) {
+  return build_comm_graph_impl(
+      capture.size(),
+      [&](std::size_t i) -> const Packet& { return capture[i].second; },
+      population);
+}
+
+CommGraph build_comm_graph(const CaptureStore& capture,
+                           const std::set<MacAddress>& population) {
+  return build_comm_graph_impl(
+      capture.size(),
+      [&](std::size_t i) -> PacketView { return capture.packet(i); },
+      population);
 }
 
 }  // namespace roomnet

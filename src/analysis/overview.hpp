@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "capture/capture_store.hpp"
 #include "classify/classifier.hpp"
 #include "netcore/packet.hpp"
 #include "netcore/time.hpp"
@@ -26,6 +27,8 @@ struct ProtocolUsage {
 
 ProtocolUsage protocol_usage(
     const std::vector<std::pair<SimTime, Packet>>& capture);
+/// Zero-copy variant: classifies the arena-backed views directly.
+ProtocolUsage protocol_usage(const CaptureStore& capture);
 
 /// Figure 1/4: unicast device-to-device edges (multicast/broadcast and
 /// router/phone endpoints excluded by the caller via `population`).
@@ -46,5 +49,8 @@ struct CommGraph {
 CommGraph build_comm_graph(
     const std::vector<std::pair<SimTime, Packet>>& capture,
     const std::set<MacAddress>& population);
+/// Zero-copy variant over the arena-backed capture.
+CommGraph build_comm_graph(const CaptureStore& capture,
+                           const std::set<MacAddress>& population);
 
 }  // namespace roomnet

@@ -62,9 +62,9 @@ void AppRunner::do_mdns_scan(Harvest& harvest) {
   // NsdManager-equivalent: PTR query, harvest every response payload.
   const std::uint16_t sport = kMdnsPort;
   harvest.opened_ports.push_back(sport);
-  phone.open_udp(sport, [this, &harvest](Host&, const Packet& packet,
-                                         const UdpDatagram& udp) {
-    const auto msg = decode_dns(BytesView(udp.payload));
+  phone.open_udp(sport, [this, &harvest](Host&, const PacketView& packet,
+                                         const UdpDatagramView& udp) {
+    const auto msg = decode_dns(udp.payload);
     if (!msg || !msg->is_response) return;
     harvest.discovered_devices.insert(packet.eth.src);
     std::string text;
@@ -108,9 +108,9 @@ void AppRunner::do_ssdp_scan(Harvest& harvest, bool igd_target) {
 
   const std::uint16_t sport = phone.ephemeral_port();
   harvest.opened_ports.push_back(sport);
-  phone.open_udp(sport, [this, &harvest](Host&, const Packet& packet,
-                                         const UdpDatagram& udp) {
-    const auto msg = decode_ssdp(BytesView(udp.payload));
+  phone.open_udp(sport, [this, &harvest](Host&, const PacketView& packet,
+                                         const UdpDatagramView& udp) {
+    const auto msg = decode_ssdp(udp.payload);
     if (!msg || msg->kind != SsdpKind::kResponse || !packet.ipv4) return;
     harvest.discovered_devices.insert(packet.eth.src);
     harvest.device_macs.insert(packet.eth.src.to_string());
@@ -169,9 +169,9 @@ void AppRunner::do_netbios_sweep(Harvest& harvest) {
 
   const std::uint16_t sport = phone.ephemeral_port();
   harvest.opened_ports.push_back(sport);
-  phone.open_udp(sport, [&harvest](Host&, const Packet& packet,
-                                   const UdpDatagram& udp) {
-    const auto response = decode_netbios(BytesView(udp.payload));
+  phone.open_udp(sport, [&harvest](Host&, const PacketView& packet,
+                                   const UdpDatagramView& udp) {
+    const auto response = decode_netbios(udp.payload);
     if (!response) return;
     harvest.discovered_devices.insert(packet.eth.src);
     for (const auto& name : response->owned_names)
@@ -211,9 +211,9 @@ void AppRunner::do_tplink_discovery(Harvest& harvest) {
   harvest.record->local_protocols.insert(ProtocolLabel::kTplinkShp);
   const std::uint16_t sport = phone.ephemeral_port();
   harvest.opened_ports.push_back(sport);
-  phone.open_udp(sport, [&harvest](Host&, const Packet& packet,
-                                   const UdpDatagram& udp) {
-    const auto body = decode_tplink_udp(BytesView(udp.payload));
+  phone.open_udp(sport, [&harvest](Host&, const PacketView& packet,
+                                   const UdpDatagramView& udp) {
+    const auto body = decode_tplink_udp(udp.payload);
     if (!body) return;
     const auto info = TplinkSysinfo::from_json(*body);
     if (!info) return;

@@ -3,7 +3,7 @@
 namespace roomnet {
 
 ArpSpoofer::ArpSpoofer(Host& host) : host_(&host) {
-  host_->packet_monitor = [this](Host&, const Packet& packet) {
+  host_->packet_monitor = [this](Host&, const PacketView& packet) {
     on_packet(packet);
   };
 }
@@ -50,7 +50,7 @@ void ArpSpoofer::poison_once() {
   }
 }
 
-void ArpSpoofer::on_packet(const Packet& packet) {
+void ArpSpoofer::on_packet(const PacketView& packet) {
   if (!running_ || !packet.ipv4) return;
   // A frame addressed to our MAC whose IP destination is a victim we
   // impersonate: record and forward to the true owner.
@@ -72,7 +72,8 @@ void ArpSpoofer::on_packet(const Packet& packet) {
   eth.dst = destination->mac;
   eth.src = host_->mac();
   eth.ethertype = packet.eth.ethertype;
-  eth.payload = packet.eth.payload;
+  // Forwarding re-frames the payload, so the view is copied exactly once.
+  eth.payload.assign(packet.eth.payload.begin(), packet.eth.payload.end());
   host_->send_frame(encode_ethernet(eth));
   intercept.forwarded = true;
   intercepts_.push_back(intercept);

@@ -56,7 +56,7 @@ class ArpSpoofer {
 
  private:
   void poison_once();
-  void on_packet(const Packet& packet);
+  void on_packet(const PacketView& packet);
   [[nodiscard]] const Victim* victim_by_ip(Ipv4Address ip) const;
 
   Host* host_;

@@ -18,14 +18,26 @@ void CaptureSink::attach(Switch& net) {
   });
 }
 
-std::map<MacAddress, std::vector<PcapRecord>> CaptureSink::split_by_source()
-    const {
-  std::map<MacAddress, std::vector<PcapRecord>> out;
-  for (const auto& rec : records_) {
+std::map<MacAddress, std::vector<std::size_t>>
+CaptureSink::split_index_by_source() const {
+  std::map<MacAddress, std::vector<std::size_t>> out;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const auto& rec = records_[i];
     if (rec.frame.size() < 12) continue;
     std::array<std::uint8_t, 6> src{};
     std::copy_n(rec.frame.begin() + 6, 6, src.begin());
-    out[MacAddress(src)].push_back(rec);
+    out[MacAddress(src)].push_back(i);
+  }
+  return out;
+}
+
+std::map<MacAddress, std::vector<PcapRecord>> CaptureSink::split_by_source()
+    const {
+  std::map<MacAddress, std::vector<PcapRecord>> out;
+  for (const auto& [mac, indices] : split_index_by_source()) {
+    auto& recs = out[mac];
+    recs.reserve(indices.size());
+    for (const std::size_t i : indices) recs.push_back(records_[i]);
   }
   return out;
 }
@@ -36,11 +48,12 @@ std::size_t CaptureSink::write_pcap_dir(const std::string& dir) const {
   if (ec) return 0;
   std::size_t written = 0;
   if (write_pcap_file(dir + "/all.pcap", records_)) ++written;
-  for (const auto& [mac, recs] : split_by_source()) {
+  for (const auto& [mac, indices] : split_index_by_source()) {
     std::string name = mac.to_string();
     for (auto& c : name)
       if (c == ':') c = '-';
-    if (write_pcap_file(dir + "/" + name + ".pcap", recs)) ++written;
+    if (write_pcap_file(dir + "/" + name + ".pcap", records_, indices))
+      ++written;
   }
   return written;
 }

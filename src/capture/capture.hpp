@@ -24,11 +24,19 @@ class CaptureSink {
   [[nodiscard]] std::size_t size() const { return records_.size(); }
   void clear() { records_.clear(); }
 
-  /// Splits the capture by source MAC — one trace per device.
+  /// Splits the capture by source MAC — one trace per device. Builds full
+  /// per-MAC record copies; prefer split_index_by_source() when the capture
+  /// itself is still available.
   [[nodiscard]] std::map<MacAddress, std::vector<PcapRecord>> split_by_source()
       const;
 
-  /// Writes <dir>/<mac>.pcap per device plus <dir>/all.pcap.
+  /// Index-based split: per-MAC vectors of record indices into records(),
+  /// in capture order. No frame bytes are duplicated.
+  [[nodiscard]] std::map<MacAddress, std::vector<std::size_t>>
+  split_index_by_source() const;
+
+  /// Writes <dir>/<mac>.pcap per device plus <dir>/all.pcap, streaming each
+  /// per-device file from the index split (the capture is never duplicated).
   /// Returns the number of files written, 0 on failure.
   std::size_t write_pcap_dir(const std::string& dir) const;
 

@@ -6,6 +6,7 @@
 
 #include "netcore/address.hpp"
 #include "netcore/packet.hpp"
+#include "netcore/packet_view.hpp"
 
 namespace roomnet {
 
@@ -14,10 +15,12 @@ struct LocalFilter {
   int prefix_len = 24;
 
   [[nodiscard]] bool matches(const Packet& packet) const;
+  [[nodiscard]] bool matches(const PacketView& packet) const;
 };
 
 /// The broader membership test used on crowdsourced data (§3.3): both
 /// endpoints in any RFC 1918/link-local private range.
 bool is_private_to_private(const Packet& packet);
+bool is_private_to_private(const PacketView& packet);
 
 }  // namespace roomnet

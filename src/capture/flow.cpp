@@ -10,17 +10,17 @@ std::size_t Flow::byte_count() const {
 
 BytesView Flow::first_client_payload() const {
   for (const auto& p : packets)
-    if (p.from_client && !p.payload.empty()) return BytesView(p.payload);
+    if (p.from_client && !p.payload.empty()) return p.payload;
   return {};
 }
 
 BytesView Flow::first_server_payload() const {
   for (const auto& p : packets)
-    if (!p.from_client && !p.payload.empty()) return BytesView(p.payload);
+    if (!p.from_client && !p.payload.empty()) return p.payload;
   return {};
 }
 
-void FlowTable::add(SimTime at, const Packet& packet) {
+void FlowTable::add(SimTime at, const PacketView& packet) {
   if (!packet.ipv4 || !packet.has_transport()) return;
   ++packets_;
 
@@ -56,8 +56,7 @@ void FlowTable::add(SimTime at, const Packet& packet) {
   fp.size = static_cast<std::uint32_t>(packet.eth.payload.size() + 14);
   fp.src_mac = packet.eth.src;
   fp.dst_mac = packet.eth.dst;
-  const BytesView payload = packet.app_payload();
-  fp.payload.assign(payload.begin(), payload.end());
+  fp.payload = packet.app_payload();
   if (packet.tcp) fp.tcp_flags = packet.tcp->flags;
   flows_[it->second].packets.push_back(std::move(fp));
 }

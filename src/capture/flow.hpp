@@ -6,11 +6,12 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "netcore/address.hpp"
 #include "netcore/packet.hpp"
+#include "netcore/packet_view.hpp"
 #include "netcore/time.hpp"
 
 namespace roomnet {
@@ -25,11 +26,36 @@ struct FlowKey {
   friend auto operator<=>(const FlowKey&, const FlowKey&) = default;
 };
 
+/// Hash for the unordered flow index. Flow *output* order is first-seen
+/// insertion order via FlowTable::flows_, so results never depend on this.
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& k) const {
+    // splitmix64-style mixing of the packed tuple halves.
+    auto mix = [](std::uint64_t x) {
+      x += 0x9e3779b97f4a7c15ull;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      return x ^ (x >> 31);
+    };
+    const std::uint64_t a =
+        (static_cast<std::uint64_t>(k.client_ip.value()) << 32) |
+        (static_cast<std::uint64_t>(value(k.client_port)) << 16) |
+        value(k.server_port);
+    const std::uint64_t b =
+        (static_cast<std::uint64_t>(k.server_ip.value()) << 8) | k.protocol;
+    return static_cast<std::size_t>(mix(a ^ mix(b)));
+  }
+};
+
 struct FlowPacket {
   SimTime timestamp;
   bool from_client = true;
   std::uint32_t size = 0;  // full frame size
-  Bytes payload;           // transport payload (may be empty for pure ACKs)
+  /// Transport payload (may be empty for pure ACKs). A zero-copy slice into
+  /// whatever buffer backed the packet handed to FlowTable::add — the
+  /// CaptureStore arena on the pipeline path. That owner must outlive the
+  /// flow table (DESIGN.md §10).
+  BytesView payload;
   MacAddress src_mac;
   MacAddress dst_mac;
   TcpFlags tcp_flags;  // zero-initialized for UDP
@@ -53,13 +79,17 @@ struct Flow {
 
 class FlowTable {
  public:
-  /// Ingests one decoded packet; ignores non-TCP/UDP.
-  void add(SimTime at, const Packet& packet);
+  /// Ingests one decoded packet; ignores non-TCP/UDP. The recorded payload
+  /// is a view: the bytes behind `packet` must outlive this table.
+  void add(SimTime at, const PacketView& packet);
+  /// Owning-Packet convenience (tests): `packet` itself must outlive the
+  /// table, since the flow records alias its payload vectors.
+  void add(SimTime at, const Packet& packet) { add(at, as_view(packet)); }
   [[nodiscard]] const std::vector<Flow>& flows() const { return flows_; }
   [[nodiscard]] std::size_t packet_count() const { return packets_; }
 
  private:
-  std::map<FlowKey, std::size_t> index_;
+  std::unordered_map<FlowKey, std::size_t, FlowKeyHash> index_;
   std::vector<Flow> flows_;
   std::size_t packets_ = 0;
 };

@@ -19,7 +19,7 @@ namespace {
 
 /// Shared L2/L3 classification (both tools agree below the transport layer,
 /// with the one documented deep-classifier exception handled by its caller).
-std::optional<ProtocolLabel> classify_l2_l3(const Packet& packet) {
+std::optional<ProtocolLabel> classify_l2_l3(const PacketView& packet) {
   if (packet.arp) return ProtocolLabel::kArp;
   if (packet.eapol) return ProtocolLabel::kEapol;
   if (packet.llc)
@@ -65,7 +65,7 @@ bool strict_rtp(BytesView payload) {
 
 // ---------------------------------------------------------- SpecClassifier
 
-ProtocolLabel SpecClassifier::classify_packet(const Packet& packet) const {
+ProtocolLabel SpecClassifier::classify_packet(const PacketView& packet) const {
   if (const auto l2 = classify_l2_l3(packet)) return *l2;
   if (!packet.has_transport())
     return packet.ipv4 || packet.ipv6 ? ProtocolLabel::kUnknown
@@ -230,7 +230,7 @@ ProtocolLabel deep_classify_payload(BytesView payload, std::uint16_t sport,
 
 }  // namespace
 
-ProtocolLabel DeepClassifier::classify_packet(const Packet& packet) const {
+ProtocolLabel DeepClassifier::classify_packet(const PacketView& packet) const {
   if (packet.eapol) {
     // Documented nDPI error: Nintendo Switch EAPOL matched an AmazonAWS
     // signature. We reproduce it for consoles via the OUI registry.
@@ -271,7 +271,7 @@ ProtocolLabel DeepClassifier::classify_flow(const Flow& flow) const {
 
 // -------------------------------------------------------- HybridClassifier
 
-ProtocolLabel HybridClassifier::classify_packet(const Packet& packet) const {
+ProtocolLabel HybridClassifier::classify_packet(const PacketView& packet) const {
   ProtocolLabel label = deep_.classify_packet(packet);
   // Manual rules (§3.5): correct the documented deep errors.
   if (label == ProtocolLabel::kCiscoVpn) return ProtocolLabel::kSsdp;

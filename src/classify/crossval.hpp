@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "capture/capture_store.hpp"
 #include "capture/flow.hpp"
 #include "classify/classifier.hpp"
 
@@ -15,41 +16,6 @@ class TaskPool;
 }  // namespace roomnet::exec
 
 namespace roomnet {
-
-/// Non-owning random-access view over packets stored in someone else's
-/// container. Adapts both a plain `vector<Packet>` and the pipeline's
-/// timestamped `vector<pair<SimTime, Packet>>` capture, so consumers can
-/// read the decoded capture directly instead of keeping a second copy of
-/// every local packet alive.
-class PacketView {
- public:
-  PacketView() = default;
-  PacketView(const std::vector<Packet>& packets)  // NOLINT(google-explicit-constructor)
-      : data_(&packets),
-        size_(packets.size()),
-        get_(+[](const void* data, std::size_t i) -> const Packet& {
-          return (*static_cast<const std::vector<Packet>*>(data))[i];
-        }) {}
-  PacketView(const std::vector<std::pair<SimTime, Packet>>& capture)  // NOLINT(google-explicit-constructor)
-      : data_(&capture),
-        size_(capture.size()),
-        get_(+[](const void* data, std::size_t i) -> const Packet& {
-          return (*static_cast<const std::vector<std::pair<SimTime, Packet>>*>(
-                      data))[i]
-              .second;
-        }) {}
-
-  [[nodiscard]] std::size_t size() const { return size_; }
-  [[nodiscard]] bool empty() const { return size_ == 0; }
-  [[nodiscard]] const Packet& operator[](std::size_t i) const {
-    return get_(data_, i);
-  }
-
- private:
-  const void* data_ = nullptr;
-  std::size_t size_ = 0;
-  const Packet& (*get_)(const void*, std::size_t) = nullptr;
-};
 
 struct CrossValidation {
   /// (spec label, deep label) -> count.
@@ -76,16 +42,29 @@ struct CrossValidation {
 /// True when a label names a concrete protocol (vs generic/unknown bins).
 bool is_concrete_label(ProtocolLabel label);
 
-/// Cross-validates over flows plus packet-level L2/L3 traffic.
+/// Cross-validates over flows plus the packet-level L2/L3 traffic in the
+/// arena-backed capture. The per-packet pass classifies the stored views
+/// directly — no Packet is materialized.
 CrossValidation cross_validate(const std::vector<Flow>& flows,
-                               PacketView l2_l3_packets);
+                               const CaptureStore& capture);
 
 /// Parallel variant: shards the per-flow and per-packet classification
 /// loops over `pool` and merges the per-chunk confusion counts in index
 /// order, so the result is byte-identical for any worker count (threads=1
 /// reproduces the sequential tabulation exactly).
 CrossValidation cross_validate(const std::vector<Flow>& flows,
-                               PacketView l2_l3_packets,
+                               const CaptureStore& capture,
                                exec::TaskPool& pool);
+
+/// Owning-Packet conveniences (offline pcap analysis, tests).
+CrossValidation cross_validate(const std::vector<Flow>& flows,
+                               const std::vector<Packet>& l2_l3_packets);
+CrossValidation cross_validate(
+    const std::vector<Flow>& flows,
+    const std::vector<std::pair<SimTime, Packet>>& capture);
+CrossValidation cross_validate(
+    const std::vector<Flow>& flows,
+    const std::vector<std::pair<SimTime, Packet>>& capture,
+    exec::TaskPool& pool);
 
 }  // namespace roomnet

@@ -20,13 +20,19 @@ bool counts_for_table4(ProtocolLabel label) {
 }
 }  // namespace
 
-ResponseStats correlate_responses(
-    const std::vector<std::pair<SimTime, Packet>>& capture, SimTime window) {
+namespace {
+
+/// Shared correlation loop: get(i) may return a Packet or a PacketView.
+template <typename GetTime, typename GetPacket>
+ResponseStats correlate_responses_impl(std::size_t n, const GetTime& get_time,
+                                       const GetPacket& get, SimTime window) {
   HybridClassifier classifier;
   ResponseStats stats;
   std::deque<DiscoveryEvent> recent;
 
-  for (const auto& [at, packet] : capture) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const SimTime at = get_time(i);
+    const auto& packet = get(i);
     // Expire old discoveries.
     while (!recent.empty() && at - recent.front().at > window)
       recent.pop_front();
@@ -64,6 +70,24 @@ ResponseStats correlate_responses(
     }
   }
   return stats;
+}
+
+}  // namespace
+
+ResponseStats correlate_responses(
+    const std::vector<std::pair<SimTime, Packet>>& capture, SimTime window) {
+  return correlate_responses_impl(
+      capture.size(), [&](std::size_t i) { return capture[i].first; },
+      [&](std::size_t i) -> const Packet& { return capture[i].second; },
+      window);
+}
+
+ResponseStats correlate_responses(const CaptureStore& capture,
+                                  SimTime window) {
+  return correlate_responses_impl(
+      capture.size(), [&](std::size_t i) { return capture.timestamp(i); },
+      [&](std::size_t i) -> PacketView { return capture.packet(i); },
+      window);
 }
 
 }  // namespace roomnet

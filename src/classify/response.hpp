@@ -8,6 +8,7 @@
 #include <set>
 #include <vector>
 
+#include "capture/capture_store.hpp"
 #include "classify/classifier.hpp"
 #include "classify/label.hpp"
 #include "netcore/packet.hpp"
@@ -43,5 +44,8 @@ struct ResponseStats {
 ResponseStats correlate_responses(
     const std::vector<std::pair<SimTime, Packet>>& capture,
     SimTime window = SimTime::from_seconds(3));
+/// Zero-copy variant over the arena-backed capture.
+ResponseStats correlate_responses(const CaptureStore& capture,
+                                  SimTime window = SimTime::from_seconds(3));
 
 }  // namespace roomnet

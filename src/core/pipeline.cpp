@@ -4,6 +4,7 @@
 #include <fstream>
 #include <optional>
 
+#include "capture/capture_store.hpp"
 #include "capture/filter.hpp"
 #include "capture/flow.hpp"
 #include "core/provenance.hpp"
@@ -170,24 +171,26 @@ PipelineResults Pipeline::run() {
     churn_->attach(lab_->loop(), std::move(hosts));
   }
 
-  // Streaming consumers over the decoded tap (no frame retention). The
-  // cross-validation's per-packet pass reads `decoded` through a PacketView
-  // projection, so the capture is held exactly once. The capture hasher
-  // folds every local frame (timestamp + raw bytes) into a running SHA-256;
-  // snapshots at stage boundaries become the sim stages' manifest hashes,
-  // pinning a determinism break to the first window whose traffic moved.
-  std::vector<std::pair<SimTime, Packet>> decoded;
+  // Zero-copy capture path: every local frame is appended exactly once into
+  // the store's arena; the stored PacketView (rebased onto the arena copy)
+  // is what the flow table and all five stage-3 analyses read. No Packet is
+  // materialized and no payload byte is copied after ingress. The capture
+  // hasher folds every local frame (timestamp + raw bytes) into a running
+  // SHA-256; snapshots at stage boundaries become the sim stages' manifest
+  // hashes, pinning a determinism break to the first window whose traffic
+  // moved.
+  CaptureStore store;
   const LocalFilter filter;
   FlowTable flow_table;
   obs::CanonicalHasher capture_hash;
   lab_->network().add_packet_tap(
-      [&](SimTime at, const Packet& packet, BytesView raw) {
+      [&](SimTime at, const PacketView& packet, BytesView raw) {
         if (!filter.matches(packet)) return;
         ++results.local_packets;
         capture_hash.i64(at.us());
         capture_hash.bytes(raw);
-        decoded.emplace_back(at, packet);
-        flow_table.add(at, packet);
+        const PacketView stored = store.append(at, packet, raw);
+        flow_table.add(at, stored);
       });
 
   // --- Stage 1: idle capture (§3.1) -----------------------------------
@@ -220,11 +223,11 @@ PipelineResults Pipeline::run() {
       const std::vector<Flow>& flows = flow_table.flows();
       exec::parallel_invoke(
           pool,
-          {[&] { results.usage = protocol_usage(decoded); },
-           [&] { results.graph = build_comm_graph(decoded, results.population); },
-           [&] { results.exposure = analyze_exposure(decoded); },
-           [&] { results.crossval = cross_validate(flows, decoded, pool); },
-           [&] { results.responses = correlate_responses(decoded); }});
+          {[&] { results.usage = protocol_usage(store); },
+           [&] { results.graph = build_comm_graph(store, results.population); },
+           [&] { results.exposure = analyze_exposure(store); },
+           [&] { results.crossval = cross_validate(flows, store, pool); },
+           [&] { results.responses = correlate_responses(store); }});
       results.flows = flows.size();
     });
     record_stage("classify", hash_classify_stage(results));

@@ -123,6 +123,14 @@ class ByteWriter {
  public:
   ByteWriter() = default;
 
+  /// Pre-sizes the output buffer. Encoders that know the final wire length
+  /// (header + payload) call this once up front so the hot path does a
+  /// single allocation instead of log2(n) grow-and-copy cycles.
+  ByteWriter& reserve(std::size_t n) {
+    out_.reserve(n);
+    return *this;
+  }
+
   ByteWriter& u8(std::uint8_t v) {
     out_.push_back(v);
     return *this;

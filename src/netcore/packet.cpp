@@ -1,6 +1,7 @@
 #include "netcore/packet.hpp"
 
 #include "netcore/checksum.hpp"
+#include "netcore/packet_view.hpp"
 
 namespace roomnet {
 
@@ -24,6 +25,7 @@ void write_ipv6(ByteWriter& w, const Ipv6Address& a) { w.raw(BytesView(a.bytes()
 
 Bytes encode_ethernet(const EthernetFrame& frame) {
   ByteWriter w;
+  w.reserve(14 + frame.payload.size());
   write_mac(w, frame.dst);
   write_mac(w, frame.src);
   w.u16(frame.ethertype);
@@ -47,6 +49,7 @@ std::optional<EthernetFrame> decode_ethernet(BytesView raw) {
 
 Bytes encode_arp(const ArpPacket& arp) {
   ByteWriter w;
+  w.reserve(28);
   w.u16(1);       // hardware type: Ethernet
   w.u16(0x0800);  // protocol type: IPv4
   w.u8(6).u8(4);  // address lengths
@@ -82,6 +85,7 @@ std::optional<ArpPacket> decode_arp(BytesView raw) {
 
 Bytes encode_llc_xid(const LlcXidFrame& frame) {
   ByteWriter w;
+  w.reserve(3 + frame.info.size());
   w.u8(frame.dsap);
   w.u8(frame.ssap);
   w.u8(frame.is_xid ? 0xaf : 0x03);  // XID command vs UI
@@ -106,6 +110,7 @@ std::optional<LlcXidFrame> decode_llc(BytesView raw) {
 
 Bytes encode_eapol(const EapolFrame& frame) {
   ByteWriter w;
+  w.reserve(4 + frame.body.size());
   w.u8(frame.version);
   w.u8(static_cast<std::uint8_t>(frame.type));
   w.u16(static_cast<std::uint16_t>(frame.body.size()));
@@ -133,6 +138,9 @@ Bytes encode_ipv4(const Ipv4Packet& packet) {
   ByteWriter w;
   const std::uint16_t total_len =
       static_cast<std::uint16_t>(20 + packet.payload.size());
+  // Reserve for header + payload: the payload is appended to the same
+  // vector after the header checksum is patched in.
+  w.reserve(total_len);
   w.u8(0x45);  // version 4, IHL 5
   w.u8(0);     // DSCP/ECN
   w.u16(total_len);
@@ -180,6 +188,7 @@ std::optional<Ipv4Packet> decode_ipv4(BytesView raw) {
 
 Bytes encode_ipv6(const Ipv6Packet& packet) {
   ByteWriter w;
+  w.reserve(40 + packet.payload.size());
   w.u32(0x60000000);  // version 6, no traffic class/flow label
   w.u16(static_cast<std::uint16_t>(packet.payload.size()));
   w.u8(packet.next_header);
@@ -212,6 +221,7 @@ std::optional<Ipv6Packet> decode_ipv6(BytesView raw) {
 namespace {
 Bytes encode_udp_common(const UdpDatagram& udp) {
   ByteWriter w;
+  w.reserve(8 + udp.payload.size());
   w.u16(value(udp.src_port));
   w.u16(value(udp.dst_port));
   w.u16(static_cast<std::uint16_t>(8 + udp.payload.size()));
@@ -258,6 +268,7 @@ std::optional<UdpDatagram> decode_udp(BytesView raw) {
 
 Bytes encode_tcp_v4(const TcpSegment& tcp, Ipv4Address src, Ipv4Address dst) {
   ByteWriter w;
+  w.reserve(20 + tcp.payload.size());
   w.u16(value(tcp.src_port));
   w.u16(value(tcp.dst_port));
   w.u32(tcp.seq);
@@ -301,6 +312,7 @@ std::optional<TcpSegment> decode_tcp(BytesView raw) {
 
 Bytes encode_icmp(const IcmpMessage& icmp) {
   ByteWriter w;
+  w.reserve(4 + icmp.body.size());
   w.u8(icmp.type);
   w.u8(icmp.code);
   w.u16(0);
@@ -329,11 +341,13 @@ std::optional<IcmpMessage> decode_icmp(BytesView raw) {
 Bytes encode_icmpv6(const Icmpv6Message& msg, const Ipv6Address& src,
                     const Ipv6Address& dst) {
   ByteWriter w;
+  const bool ndp = msg.type == Icmpv6Type::kNeighborSolicitation ||
+                   msg.type == Icmpv6Type::kNeighborAdvertisement;
+  w.reserve(4 + (ndp ? 20 : 0) + (msg.link_layer_option ? 8 : 0) +
+            msg.extra.size());
   w.u8(static_cast<std::uint8_t>(msg.type));
   w.u8(msg.code);
   w.u16(0);  // checksum placeholder
-  const bool ndp = msg.type == Icmpv6Type::kNeighborSolicitation ||
-                   msg.type == Icmpv6Type::kNeighborAdvertisement;
   if (ndp) {
     w.u32(0);  // reserved/flags
     write_ipv6(w, msg.target.value_or(Ipv6Address{}));
@@ -393,6 +407,7 @@ std::optional<Icmpv6Message> decode_icmpv6(BytesView raw) {
 
 Bytes encode_igmp(const IgmpMessage& msg) {
   ByteWriter w;
+  w.reserve(8);
   w.u8(msg.type);
   w.u8(0);
   w.u16(0);
@@ -417,68 +432,12 @@ std::optional<IgmpMessage> decode_igmp(BytesView raw) {
 // --------------------------------------------------------------- full frame
 
 std::optional<Packet> decode_frame(BytesView raw) {
-  auto eth = decode_ethernet(raw);
-  if (!eth) return std::nullopt;
-  Packet p;
-  p.eth = std::move(*eth);
-  const BytesView body(p.eth.payload);
-
-  if (p.eth.is_llc()) {
-    p.llc = decode_llc(body);
-    return p;
-  }
-  switch (static_cast<EtherType>(p.eth.ethertype)) {
-    case EtherType::kArp:
-      p.arp = decode_arp(body);
-      break;
-    case EtherType::kEapol:
-      p.eapol = decode_eapol(body);
-      break;
-    case EtherType::kIpv4: {
-      p.ipv4 = decode_ipv4(body);
-      if (!p.ipv4) break;
-      const BytesView ip_body(p.ipv4->payload);
-      switch (static_cast<IpProto>(p.ipv4->protocol)) {
-        case IpProto::kUdp:
-          p.udp = decode_udp(ip_body);
-          break;
-        case IpProto::kTcp:
-          p.tcp = decode_tcp(ip_body);
-          break;
-        case IpProto::kIcmp:
-          p.icmp = decode_icmp(ip_body);
-          break;
-        case IpProto::kIgmp:
-          p.igmp = decode_igmp(ip_body);
-          break;
-        default:
-          break;
-      }
-      break;
-    }
-    case EtherType::kIpv6: {
-      p.ipv6 = decode_ipv6(body);
-      if (!p.ipv6) break;
-      const BytesView ip_body(p.ipv6->payload);
-      switch (static_cast<IpProto>(p.ipv6->next_header)) {
-        case IpProto::kUdp:
-          p.udp = decode_udp(ip_body);
-          break;
-        case IpProto::kTcp:
-          p.tcp = decode_tcp(ip_body);
-          break;
-        case IpProto::kIcmpv6:
-          p.icmpv6 = decode_icmpv6(ip_body);
-          break;
-        default:
-          break;
-      }
-      break;
-    }
-    default:
-      break;
-  }
-  return p;
+  // Single decode implementation: parse as views over `raw`, then deep-copy
+  // the slices. The view decode's layering rules (sub-layer failures stop
+  // the descent, an Ethernet failure fails the decode) carry over verbatim.
+  const auto view = decode_frame_view(raw);
+  if (!view) return std::nullopt;
+  return materialize(*view);
 }
 
 }  // namespace roomnet

@@ -10,23 +10,43 @@ constexpr std::uint32_t kMagicUsSwapped = 0xd4c3b2a1;
 constexpr std::uint32_t kLinktypeEthernet = 1;
 }  // namespace
 
-Bytes encode_pcap(const std::vector<PcapRecord>& records, std::uint32_t snaplen) {
-  ByteWriter w;
+namespace {
+void write_pcap_header(ByteWriter& w, std::uint32_t snaplen) {
   w.u32_le(kMagicUs);
   w.u16_le(2).u16_le(4);  // version 2.4
   w.u32_le(0);            // thiszone
   w.u32_le(0);            // sigfigs
   w.u32_le(snaplen);
   w.u32_le(kLinktypeEthernet);
-  for (const auto& rec : records) {
-    const std::int64_t us = rec.timestamp.us();
-    w.u32_le(static_cast<std::uint32_t>(us / 1000000));
-    w.u32_le(static_cast<std::uint32_t>(us % 1000000));
-    const std::uint32_t incl =
-        std::min<std::uint32_t>(static_cast<std::uint32_t>(rec.frame.size()), snaplen);
-    w.u32_le(incl);
-    w.u32_le(static_cast<std::uint32_t>(rec.frame.size()));
-    w.raw(BytesView(rec.frame).first(incl));
+}
+
+void write_pcap_record(ByteWriter& w, const PcapRecord& rec,
+                       std::uint32_t snaplen) {
+  const std::int64_t us = rec.timestamp.us();
+  w.u32_le(static_cast<std::uint32_t>(us / 1000000));
+  w.u32_le(static_cast<std::uint32_t>(us % 1000000));
+  const std::uint32_t incl = std::min<std::uint32_t>(
+      static_cast<std::uint32_t>(rec.frame.size()), snaplen);
+  w.u32_le(incl);
+  w.u32_le(static_cast<std::uint32_t>(rec.frame.size()));
+  w.raw(BytesView(rec.frame).first(incl));
+}
+}  // namespace
+
+Bytes encode_pcap(const std::vector<PcapRecord>& records, std::uint32_t snaplen) {
+  ByteWriter w;
+  write_pcap_header(w, snaplen);
+  for (const auto& rec : records) write_pcap_record(w, rec, snaplen);
+  return w.take();
+}
+
+Bytes encode_pcap(const std::vector<PcapRecord>& records,
+                  const std::vector<std::size_t>& indices,
+                  std::uint32_t snaplen) {
+  ByteWriter w;
+  write_pcap_header(w, snaplen);
+  for (const std::size_t i : indices) {
+    if (i < records.size()) write_pcap_record(w, records[i], snaplen);
   }
   return w.take();
 }
@@ -77,14 +97,25 @@ std::optional<std::vector<PcapRecord>> decode_pcap(BytesView data) {
   return records;
 }
 
-bool write_pcap_file(const std::string& path,
-                     const std::vector<PcapRecord>& records) {
-  const Bytes data = encode_pcap(records);
+namespace {
+bool write_bytes_file(const std::string& path, const Bytes& data) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return false;
   out.write(reinterpret_cast<const char*>(data.data()),
             static_cast<std::streamsize>(data.size()));
   return static_cast<bool>(out);
+}
+}  // namespace
+
+bool write_pcap_file(const std::string& path,
+                     const std::vector<PcapRecord>& records) {
+  return write_bytes_file(path, encode_pcap(records));
+}
+
+bool write_pcap_file(const std::string& path,
+                     const std::vector<PcapRecord>& records,
+                     const std::vector<std::size_t>& indices) {
+  return write_bytes_file(path, encode_pcap(records, indices));
 }
 
 std::optional<std::vector<PcapRecord>> read_pcap_file(const std::string& path) {

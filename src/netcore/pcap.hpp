@@ -24,6 +24,13 @@ struct PcapRecord {
 Bytes encode_pcap(const std::vector<PcapRecord>& records,
                   std::uint32_t snaplen = 65535);
 
+/// Index-streaming variant: serializes records[i] for each i in `indices`
+/// (in index order) without materializing a per-subset record copy. Used by
+/// CaptureSink's per-device split.
+Bytes encode_pcap(const std::vector<PcapRecord>& records,
+                  const std::vector<std::size_t>& indices,
+                  std::uint32_t snaplen = 65535);
+
 /// Parses a pcap byte stream; accepts both byte orders. Returns nullopt on a
 /// bad magic or truncated record.
 std::optional<std::vector<PcapRecord>> decode_pcap(BytesView data);
@@ -31,6 +38,9 @@ std::optional<std::vector<PcapRecord>> decode_pcap(BytesView data);
 /// Convenience file I/O. write_pcap_file returns false on I/O failure.
 bool write_pcap_file(const std::string& path,
                      const std::vector<PcapRecord>& records);
+bool write_pcap_file(const std::string& path,
+                     const std::vector<PcapRecord>& records,
+                     const std::vector<std::size_t>& indices);
 std::optional<std::vector<PcapRecord>> read_pcap_file(const std::string& path);
 
 }  // namespace roomnet

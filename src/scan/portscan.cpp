@@ -99,7 +99,7 @@ std::string infer_service_from_port(std::uint16_t port, bool udp) {
 
 PortScanner::PortScanner(Host& scanner, PortScanConfig config)
     : scanner_(&scanner), config_(std::move(config)) {
-  scanner_->packet_monitor = [this](Host&, const Packet& packet) {
+  scanner_->packet_monitor = [this](Host&, const PacketView& packet) {
     on_packet(packet);
   };
   scanner_->rst_on_closed_tcp = false;  // do not answer the answers
@@ -297,7 +297,7 @@ void PortScanner::start(const std::vector<ScanTarget>& targets) {
 
 SimTime PortScanner::estimated_duration() const { return duration_; }
 
-void PortScanner::on_packet(const Packet& packet) {
+void PortScanner::on_packet(const PacketView& packet) {
   if (!packet.ipv4) return;
   // Only unicast traffic addressed to the scan box counts as a probe
   // response; background multicast chatter floods past us too.
@@ -331,7 +331,7 @@ void PortScanner::on_packet(const Packet& packet) {
     if (packet.icmp->type == 3 && packet.icmp->code == 3) {
       // Port unreachable: parse the embedded original datagram for the
       // probed port (IP header 20 bytes, then UDP sport/dport).
-      const Bytes& body = packet.icmp->body;
+      const BytesView body = packet.icmp->body;
       if (body.size() >= 24) {
         const std::uint16_t dport =
             static_cast<std::uint16_t>((body[22] << 8) | body[23]);

@@ -82,7 +82,7 @@ class PortScanner {
   }
 
  private:
-  void on_packet(const Packet& packet);
+  void on_packet(const PacketView& packet);
   [[nodiscard]] Bytes udp_probe_payload(std::uint16_t port);
   /// Sends attempt `attempt` of a probe and, when a retry budget is set,
   /// schedules a timeout check that retransmits until the budget runs out.

@@ -155,11 +155,11 @@ void ServiceProber::probe_udp(DeviceAudit& audit, std::size_t service_index,
   // version.bind, then a cache-snoop test (recursive name, low TTL reply).
   scanner_->loop().schedule_in(SimTime::from_seconds(at_s), [this, ip, obs] {
     const std::uint16_t sport = scanner_->ephemeral_port();
-    scanner_->open_udp(sport, [obs](Host& self, const Packet& packet,
-                                    const UdpDatagram& udp) {
+    scanner_->open_udp(sport, [obs](Host& self, const PacketView& packet,
+                                    const UdpDatagramView& udp) {
       (void)self;
       (void)packet;
-      const auto msg = decode_dns(BytesView(udp.payload));
+      const auto msg = decode_dns(udp.payload);
       if (!msg || !msg->is_response) return;
       for (const auto& answer : msg->answers) {
         if (answer.type == DnsType::kTxt) {

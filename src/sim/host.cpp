@@ -364,8 +364,8 @@ void Host::start_dhcp(std::string hostname, std::string vendor_class,
   dhcp_params_ = std::move(param_request_list);
   dhcp_xid_ = static_cast<std::uint32_t>(mac_.to_u64() ^ 0x5a5a5a5a);
   open_udp(kDhcpClientPort,
-           [this](Host&, const Packet&, const UdpDatagram& udp) {
-             const auto reply = decode_dhcp(BytesView(udp.payload));
+           [this](Host&, const PacketView&, const UdpDatagramView& udp) {
+             const auto reply = decode_dhcp(udp.payload);
              if (reply && !reply->is_request) handle_dhcp_reply(*reply);
            });
 
@@ -426,7 +426,7 @@ void Host::handle_dhcp_reply(const DhcpMessage& msg) {
 
 // -- receive ------------------------------------------------------------------
 
-void Host::receive(const Packet& packet, BytesView raw) {
+void Host::receive(const PacketView& packet, BytesView raw) {
   (void)raw;
   if (packet.arp) handle_arp(*packet.arp);
   if (packet.ipv4) handle_ipv4(packet);
@@ -434,8 +434,8 @@ void Host::receive(const Packet& packet, BytesView raw) {
   if (packet_monitor) packet_monitor(*this, packet);
 }
 
-void Host::handle_ipv4(const Packet& packet) {
-  const Ipv4Packet& ip = *packet.ipv4;
+void Host::handle_ipv4(const PacketView& packet) {
+  const Ipv4PacketView& ip = *packet.ipv4;
   const bool for_me = ip.dst == ip_ || ip.dst.is_broadcast() ||
                       ip.dst.is_subnet_broadcast24() || ip.dst.is_multicast();
   if (!for_me) return;
@@ -448,7 +448,8 @@ void Host::handle_ipv4(const Packet& packet) {
     if (packet.icmp->type == 8 && responds_to_ping) {
       IcmpMessage reply;
       reply.type = 0;
-      reply.body = packet.icmp->body;
+      // The echo body is a view into the delivery buffer; the reply owns it.
+      reply.body.assign(packet.icmp->body.begin(), packet.icmp->body.end());
       Ipv4Packet out;
       out.src = ip_;
       out.dst = ip.src;
@@ -478,7 +479,7 @@ void Host::handle_ipv4(const Packet& packet) {
   }
 }
 
-void Host::handle_ipv6(const Packet& packet) {
+void Host::handle_ipv6(const PacketView& packet) {
   if (!ipv6_enabled_) return;
   if (packet.icmpv6 &&
       packet.icmpv6->type == Icmpv6Type::kNeighborSolicitation &&
@@ -502,8 +503,8 @@ void Host::handle_ipv6(const Packet& packet) {
   if (packet.udp) handle_udp(packet);
 }
 
-void Host::handle_udp(const Packet& packet) {
-  const UdpDatagram& udp = *packet.udp;
+void Host::handle_udp(const PacketView& packet) {
+  const UdpDatagramView& udp = *packet.udp;
   const std::uint16_t dport = value(udp.dst_port);
   const auto it = udp_handlers_.find(dport);
   if (it != udp_handlers_.end()) it->second(*this, packet, udp);
@@ -522,7 +523,8 @@ void Host::handle_udp(const Packet& packet) {
     original.src = packet.ipv4->src;
     original.dst = packet.ipv4->dst;
     original.protocol = packet.ipv4->protocol;
-    original.payload = packet.ipv4->payload;
+    original.payload.assign(packet.ipv4->payload.begin(),
+                            packet.ipv4->payload.end());
     Bytes original_bytes = encode_ipv4(original);
     original_bytes.resize(std::min<std::size_t>(original_bytes.size(), 28));
     unreachable.body = std::move(original_bytes);
@@ -535,8 +537,8 @@ void Host::handle_udp(const Packet& packet) {
   }
 }
 
-void Host::handle_tcp(const Packet& packet) {
-  const TcpSegment& seg = *packet.tcp;
+void Host::handle_tcp(const PacketView& packet) {
+  const TcpSegmentView& seg = *packet.tcp;
   const Ipv4Address remote = packet.ipv4->src;
   const TcpKey key = tcp_key(remote, seg.src_port, seg.dst_port);
   const auto it = connections_.find(key);
@@ -633,7 +635,7 @@ Router::Router(Switch& net, MacAddress mac, Ipv4Address ip, int prefix_len)
   (void)prefix_len;  // /24 pools only; parameter reserved for future use
   set_static_ip(ip);
   open_udp(kDhcpServerPort,
-           [this](Host&, const Packet& packet, const UdpDatagram& udp) {
+           [this](Host&, const PacketView& packet, const UdpDatagramView& udp) {
              handle_dhcp(packet, udp);
            });
 }
@@ -646,9 +648,9 @@ Ipv4Address Router::lease_for(const MacAddress& mac) {
   return assigned;
 }
 
-void Router::handle_dhcp(const Packet& packet, const UdpDatagram& udp) {
+void Router::handle_dhcp(const PacketView& packet, const UdpDatagramView& udp) {
   (void)packet;
-  const auto msg = decode_dhcp(BytesView(udp.payload));
+  const auto msg = decode_dhcp(udp.payload);
   if (!msg || !msg->is_request) return;
   const auto type = msg->message_type();
   if (type != DhcpMessageType::kDiscover && type != DhcpMessageType::kRequest)

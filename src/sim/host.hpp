@@ -140,8 +140,10 @@ class Host : public NetworkNode {
   void send_neighbor_solicitation(const Ipv6Address& target);
 
   // -- UDP ----------------------------------------------------------------
+  /// Handlers receive the shared zero-copy decode; the views die with the
+  /// delivery event, so any payload kept for later must be copied.
   using UdpHandler =
-      std::function<void(Host&, const Packet&, const UdpDatagram&)>;
+      std::function<void(Host&, const PacketView&, const UdpDatagramView&)>;
 
   /// Opens a UDP port with a handler. The port then counts as "open" for
   /// UDP scans.
@@ -187,13 +189,13 @@ class Host : public NetworkNode {
 
   /// Observers of every packet addressed to (or flooded past) this host,
   /// after stack processing. Used by monitors and SDK models.
-  std::function<void(Host&, const Packet&)> packet_monitor;
+  std::function<void(Host&, const PacketView&)> packet_monitor;
   /// IP protocols (beyond ICMP/IGMP/TCP/UDP) this host "supports": an
   /// IP-protocol scan elicits a response for these (§4.2's 58 devices).
   std::vector<std::uint8_t> extra_ip_protocols;
 
   // NetworkNode:
-  void receive(const Packet& packet, BytesView raw) override;
+  void receive(const PacketView& packet, BytesView raw) override;
 
  private:
   struct PendingSend {
@@ -204,10 +206,10 @@ class Host : public NetworkNode {
   void send_dhcp_discover();
   void schedule_dhcp_retry(int attempt);
   void handle_arp(const ArpPacket& arp);
-  void handle_ipv4(const Packet& packet);
-  void handle_ipv6(const Packet& packet);
-  void handle_udp(const Packet& packet);
-  void handle_tcp(const Packet& packet);
+  void handle_ipv4(const PacketView& packet);
+  void handle_ipv6(const PacketView& packet);
+  void handle_udp(const PacketView& packet);
+  void handle_tcp(const PacketView& packet);
   void handle_dhcp_reply(const DhcpMessage& msg);
 
   friend class TcpConnection;
@@ -256,7 +258,7 @@ class Router : public Host {
   }
 
  private:
-  void handle_dhcp(const Packet& packet, const UdpDatagram& udp);
+  void handle_dhcp(const PacketView& packet, const UdpDatagramView& udp);
   Ipv4Address lease_for(const MacAddress& mac);
 
   Ipv4Address subnet_;

@@ -3,10 +3,11 @@
 namespace roomnet {
 
 MdnsEndpoint::MdnsEndpoint(Host& host) : host_(&host) {
-  host_->open_udp(kMdnsPort,
-                  [this](Host&, const Packet& packet, const UdpDatagram& udp) {
-                    handle(packet, udp);
-                  });
+  host_->open_udp(
+      kMdnsPort,
+      [this](Host&, const PacketView& packet, const UdpDatagramView& udp) {
+        handle(packet, udp);
+      });
   host_->join_multicast_group(kMdnsGroupV4);
 }
 
@@ -62,8 +63,8 @@ void MdnsEndpoint::send_message(const DnsMessage& msg, bool unicast,
   }
 }
 
-void MdnsEndpoint::handle(const Packet& packet, const UdpDatagram& udp) {
-  const auto msg = decode_dns(BytesView(udp.payload));
+void MdnsEndpoint::handle(const PacketView& packet, const UdpDatagramView& udp) {
+  const auto msg = decode_dns(udp.payload);
   if (!msg) return;
   if (on_message) on_message(packet, *msg);
   if (msg->is_response || !packet.ipv4) return;

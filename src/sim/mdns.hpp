@@ -42,10 +42,10 @@ class MdnsEndpoint {
   void announce();
 
   /// Observer of every mDNS message seen (for scanners/SDK models).
-  std::function<void(const Packet&, const DnsMessage&)> on_message;
+  std::function<void(const PacketView&, const DnsMessage&)> on_message;
 
  private:
-  void handle(const Packet& packet, const UdpDatagram& udp);
+  void handle(const PacketView& packet, const UdpDatagramView& udp);
   [[nodiscard]] DnsMessage build_answer(const MdnsService& service) const;
   void send_message(const DnsMessage& msg, bool unicast, Ipv4Address to);
 

@@ -7,32 +7,8 @@
 namespace roomnet {
 
 namespace {
-// Coarse wire-level protocol bucket for the per-protocol frame counters.
-// (Full application-protocol labeling lives in roomnet_classify; the switch
-// only sees one decode and must stay cheap.)
-enum class WireProto : std::size_t {
-  kArp, kEapol, kLlc, kIcmp, kIcmpv6, kIgmp, kUdp, kTcp, kIpOther, kOther,
-  kCount,
-};
-
-constexpr const char* kWireProtoNames[] = {
-    "arp", "eapol", "llc", "icmp", "icmpv6", "igmp",
-    "udp", "tcp",   "ip-other", "other",
-};
-
-WireProto wire_proto(const Packet& packet) {
-  if (packet.arp) return WireProto::kArp;
-  if (packet.eapol) return WireProto::kEapol;
-  if (packet.llc) return WireProto::kLlc;
-  if (packet.icmp) return WireProto::kIcmp;
-  if (packet.icmpv6) return WireProto::kIcmpv6;
-  if (packet.igmp) return WireProto::kIgmp;
-  if (packet.udp) return WireProto::kUdp;
-  if (packet.tcp) return WireProto::kTcp;
-  if (packet.has_ip()) return WireProto::kIpOther;
-  return WireProto::kOther;
-}
-
+// WireProto (the coarse per-protocol frame bucket) lives in
+// netcore/packet_view.hpp so the capture store's side index shares it.
 struct SwitchMetrics {
   telemetry::Counter& frames =
       telemetry::Registry::global().counter("roomnet_switch_frames_total");
@@ -74,41 +50,44 @@ void Switch::transmit(BytesView frame, const NetworkNode* sender) {
         .inc();
     return;
   }
-  Bytes copy(frame.begin(), frame.end());
+  // The single ingress copy: after this point the frame bytes are shared —
+  // fault mutations happen while the buffer is still exclusively ours.
+  auto shared = std::make_shared<Bytes>(frame.begin(), frame.end());
   int copies = 1;
   SimTime extra_delay;
   if (fault_hook_) {
-    const FrameFate fate = fault_hook_(copy.size());
+    const FrameFate fate = fault_hook_(shared->size());
     if (fate.drop) return;
-    if (fate.truncate_to != 0 && fate.truncate_to < copy.size())
-      copy.resize(fate.truncate_to);
-    if (fate.corrupt_mask != 0 && fate.corrupt_at < copy.size())
-      copy[fate.corrupt_at] ^= fate.corrupt_mask;
+    if (fate.truncate_to != 0 && fate.truncate_to < shared->size())
+      shared->resize(fate.truncate_to);
+    if (fate.corrupt_mask != 0 && fate.corrupt_at < shared->size())
+      (*shared)[fate.corrupt_at] ^= fate.corrupt_mask;
     copies = fate.copies;
     extra_delay = fate.extra_delay;
   }
   ++frames_;
   SwitchMetrics& metrics = switch_metrics();
   metrics.frames.inc();
-  metrics.bytes.inc(copy.size());
-  for (const auto& tap : taps_) tap(loop_->now(), BytesView(copy));
+  metrics.bytes.inc(shared->size());
+  for (const auto& tap : taps_) tap(loop_->now(), BytesView(*shared));
 
   // One event per frame; the fan-out happens inside deliver(). Duplicated
-  // frames deliver back-to-back at the same (jittered) timestamp.
+  // frames deliver back-to-back at the same (jittered) timestamp. Each
+  // closure shares the one ingress buffer (a refcount bump, not a copy).
   for (int c = 0; c < copies; ++c) {
-    loop_->schedule_in(kPropagationDelay + extra_delay,
-                       [this, sender, copy] { deliver(copy, sender); });
+    loop_->schedule_in(
+        kPropagationDelay + extra_delay,
+        [this, sender, shared] { deliver(BytesView(*shared), sender); });
   }
 }
 
-void Switch::deliver(const Bytes& frame, const NetworkNode* sender) {
-  const auto packet = decode_frame(BytesView(frame));
+void Switch::deliver(BytesView frame, const NetworkNode* sender) {
+  const auto packet = decode_frame_view(frame);
   if (!packet) return;
   switch_metrics()
       .per_proto[static_cast<std::size_t>(wire_proto(*packet))]
       ->inc();
-  for (const auto& tap : packet_taps_)
-    tap(loop_->now(), *packet, BytesView(frame));
+  for (const auto& tap : packet_taps_) tap(loop_->now(), *packet, frame);
 
   const MacAddress dst = packet->eth.dst;
   if (!dst.is_multicast()) {
@@ -116,14 +95,14 @@ void Switch::deliver(const Bytes& frame, const NetworkNode* sender) {
     if (it != by_mac_.end()) {
       // Offline receivers (device churn) miss the frame entirely.
       if (it->second != sender && it->second->online())
-        it->second->receive(*packet, BytesView(frame));
+        it->second->receive(*packet, frame);
       return;
     }
     // Unknown unicast floods, like a real switch before learning.
   }
   for (NetworkNode* node : nodes_) {
     if (node == sender || !node->online()) continue;
-    node->receive(*packet, BytesView(frame));
+    node->receive(*packet, frame);
   }
 }
 

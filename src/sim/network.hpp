@@ -3,18 +3,22 @@
 // port; multicast/broadcast (and unknown unicast) frames flood. Taps see
 // every frame — that is the paper's tcpdump-on-the-AP vantage point.
 //
-// Performance note: each frame is decoded exactly once at delivery time and
-// the decoded Packet is shared by every receiver and packet tap; a flooded
-// frame costs one decode + N handler calls, not N decodes.
+// Performance note: a transmitted frame is copied into a shared buffer
+// exactly once at ingress; taps, duplicate deliveries, and deliver() all
+// alias that buffer. At delivery time the frame is view-decoded exactly once
+// (zero further allocations) and the PacketView is shared by every receiver
+// and packet tap; a flooded frame costs one decode + N handler calls.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "netcore/address.hpp"
 #include "netcore/bytes.hpp"
 #include "netcore/packet.hpp"
+#include "netcore/packet_view.hpp"
 #include "sim/engine.hpp"
 
 namespace roomnet {
@@ -24,9 +28,11 @@ class NetworkNode {
  public:
   virtual ~NetworkNode() = default;
   [[nodiscard]] virtual MacAddress mac() const = 0;
-  /// `packet` is the shared decode of `raw`; implementations must not retain
-  /// references past the call.
-  virtual void receive(const Packet& packet, BytesView raw) = 0;
+  /// `packet` is the shared zero-copy decode of `raw`: its slices point into
+  /// the switch's frame buffer, which only lives for the duration of the
+  /// delivery event. Implementations must not retain views past the call —
+  /// anything kept must be copied (see DESIGN.md §10).
+  virtual void receive(const PacketView& packet, BytesView raw) = 0;
   /// Whether the node's radio is up. Offline nodes (device churn, §faults)
   /// neither transmit nor receive; the switch consults this per frame.
   [[nodiscard]] virtual bool online() const { return true; }
@@ -37,8 +43,9 @@ class Switch {
   /// Raw tap: invoked at transmit time for every frame (the capture sink).
   using Tap = std::function<void(SimTime, BytesView)>;
   /// Decoded tap: invoked once per frame at delivery time, sharing the
-  /// receivers' decode. Preferred for streaming analysis.
-  using PacketTap = std::function<void(SimTime, const Packet&, BytesView)>;
+  /// receivers' decode. Preferred for streaming analysis. The same lifetime
+  /// rule as NetworkNode::receive applies: copy what you keep.
+  using PacketTap = std::function<void(SimTime, const PacketView&, BytesView)>;
 
   /// Per-frame verdict of the fault-injection hook (roomnet::faults). The
   /// default-constructed fate is "deliver exactly once, unmodified, after
@@ -82,7 +89,7 @@ class Switch {
   [[nodiscard]] std::uint64_t frames_transmitted() const { return frames_; }
 
  private:
-  void deliver(const Bytes& frame, const NetworkNode* sender);
+  void deliver(BytesView frame, const NetworkNode* sender);
 
   static constexpr SimTime kPropagationDelay = SimTime::from_us(300);
 

@@ -5,10 +5,11 @@
 namespace roomnet {
 
 SsdpEndpoint::SsdpEndpoint(Host& host) : host_(&host) {
-  host_->open_udp(kSsdpPort,
-                  [this](Host&, const Packet& packet, const UdpDatagram& udp) {
-                    handle(packet, udp);
-                  });
+  host_->open_udp(
+      kSsdpPort,
+      [this](Host&, const PacketView& packet, const UdpDatagramView& udp) {
+        handle(packet, udp);
+      });
   host_->join_multicast_group(kSsdpGroupV4);
 }
 
@@ -62,10 +63,11 @@ void SsdpEndpoint::msearch(const std::string& search_target, int mx) {
   // Unicast 200 OK responses come back to the search's source port, so the
   // searching socket must listen there too.
   const std::uint16_t sport = host_->ephemeral_port();
-  host_->open_udp(sport,
-                  [this](Host&, const Packet& packet, const UdpDatagram& udp) {
-                    handle(packet, udp);
-                  });
+  host_->open_udp(
+      sport,
+      [this](Host&, const PacketView& packet, const UdpDatagramView& udp) {
+        handle(packet, udp);
+      });
   host_->send_udp(kSsdpGroupV4, sport, kSsdpPort, encode_ssdp(msg));
 }
 
@@ -78,8 +80,8 @@ void SsdpEndpoint::notify_alive() {
   }
 }
 
-void SsdpEndpoint::handle(const Packet& packet, const UdpDatagram& udp) {
-  const auto msg = decode_ssdp(BytesView(udp.payload));
+void SsdpEndpoint::handle(const PacketView& packet, const UdpDatagramView& udp) {
+  const auto msg = decode_ssdp(udp.payload);
   if (!msg) return;
   if (on_message) on_message(packet, *msg);
   if (msg->kind != SsdpKind::kMSearch || !respond_to_msearch || !packet.ipv4)

@@ -39,10 +39,10 @@ class SsdpEndpoint {
   void msearch(const std::string& search_target, int mx = 2);
   void notify_alive();
 
-  std::function<void(const Packet&, const SsdpMessage&)> on_message;
+  std::function<void(const PacketView&, const SsdpMessage&)> on_message;
 
  private:
-  void handle(const Packet& packet, const UdpDatagram& udp);
+  void handle(const PacketView& packet, const UdpDatagramView& udp);
   [[nodiscard]] SsdpMessage base_message(SsdpKind kind,
                                          const std::string& nt) const;
 

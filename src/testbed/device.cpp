@@ -326,9 +326,10 @@ void TestbedDevice::setup_services() {
 
   // -- DNS server (cache-snooping-prone, §5.2) --------------------------------
   if (behavior_.dns_server) {
-    host_.open_udp(53, [this](Host&, const Packet& packet, const UdpDatagram& udp) {
+    host_.open_udp(53, [this](Host&, const PacketView& packet,
+                              const UdpDatagramView& udp) {
       if (!packet.ipv4) return;
-      const auto query = decode_dns(BytesView(udp.payload));
+      const auto query = decode_dns(udp.payload);
       if (!query || query->is_response || query->questions.empty()) return;
       DnsMessage response;
       response.id = query->id;
@@ -369,10 +370,10 @@ void TestbedDevice::setup_services() {
       info.longitude = behavior_.longitude;
       return info;
     };
-    host_.open_udp(kTplinkPort, [this, sysinfo](Host&, const Packet& packet,
-                                                const UdpDatagram& udp) {
+    host_.open_udp(kTplinkPort, [this, sysinfo](Host&, const PacketView& packet,
+                                                const UdpDatagramView& udp) {
       if (!packet.ipv4) return;
-      const auto cmd = decode_tplink_udp(BytesView(udp.payload));
+      const auto cmd = decode_tplink_udp(udp.payload);
       if (!cmd || cmd->find_path("system.get_sysinfo") == nullptr) return;
       host_.send_udp(packet.ipv4->src, kTplinkPort, value(udp.src_port),
                      encode_tplink_udp(sysinfo().to_json()));
@@ -395,10 +396,10 @@ void TestbedDevice::setup_services() {
 
   // -- CoAP server (IoTivity-ish) ---------------------------------------------
   if (behavior_.coap_server) {
-    host_.open_udp(kCoapPort, [this](Host&, const Packet& packet,
-                                     const UdpDatagram& udp) {
+    host_.open_udp(kCoapPort, [this](Host&, const PacketView& packet,
+                                     const UdpDatagramView& udp) {
       if (!packet.ipv4) return;
-      const auto msg = decode_coap(BytesView(udp.payload));
+      const auto msg = decode_coap(udp.payload);
       if (!msg || msg->code != kCoapGet) return;
       CoapMessage res;
       res.type = CoapType::kAck;
@@ -421,7 +422,7 @@ void TestbedDevice::setup_services() {
     });
   }
   for (const std::uint16_t port : behavior_.misc_udp_open) {
-    host_.open_udp(port, [](Host&, const Packet&, const UdpDatagram&) {});
+    host_.open_udp(port, [](Host&, const PacketView&, const UdpDatagramView&) {});
   }
 }
 

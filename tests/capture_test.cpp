@@ -144,9 +144,14 @@ Packet udp_packet(Ipv4Address src, std::uint16_t sport, Ipv4Address dst,
 TEST(FlowTable, GroupsBidirectionalTraffic) {
   FlowTable table;
   const Ipv4Address a(192, 168, 10, 5), b(192, 168, 10, 6);
-  table.add(SimTime::from_ms(0), udp_packet(a, 5000, b, 80, "req"));
-  table.add(SimTime::from_ms(10), udp_packet(b, 80, a, 5000, "res"));
-  table.add(SimTime::from_ms(20), udp_packet(a, 5000, b, 80, "req2"));
+  // Named locals: the flow records payload views into these packets, so
+  // they must outlive the table reads below (DESIGN.md §10).
+  const Packet req = udp_packet(a, 5000, b, 80, "req");
+  const Packet res = udp_packet(b, 80, a, 5000, "res");
+  const Packet req2 = udp_packet(a, 5000, b, 80, "req2");
+  table.add(SimTime::from_ms(0), req);
+  table.add(SimTime::from_ms(10), res);
+  table.add(SimTime::from_ms(20), req2);
   ASSERT_EQ(table.flows().size(), 1u);
   const Flow& flow = table.flows()[0];
   EXPECT_EQ(flow.key.client_ip, a);
@@ -162,9 +167,12 @@ TEST(FlowTable, GroupsBidirectionalTraffic) {
 TEST(FlowTable, DistinctTuplesAreDistinctFlows) {
   FlowTable table;
   const Ipv4Address a(192, 168, 10, 5), b(192, 168, 10, 6);
-  table.add(SimTime{}, udp_packet(a, 5000, b, 80, "x"));
-  table.add(SimTime{}, udp_packet(a, 5001, b, 80, "y"));
-  table.add(SimTime{}, udp_packet(a, 5000, b, 81, "z"));
+  const Packet x = udp_packet(a, 5000, b, 80, "x");
+  const Packet y = udp_packet(a, 5001, b, 80, "y");
+  const Packet z = udp_packet(a, 5000, b, 81, "z");
+  table.add(SimTime{}, x);
+  table.add(SimTime{}, y);
+  table.add(SimTime{}, z);
   EXPECT_EQ(table.flows().size(), 3u);
 }
 
@@ -180,8 +188,10 @@ TEST(FlowTable, IgnoresNonTransport) {
 TEST(FlowTable, TimesAndBytes) {
   FlowTable table;
   const Ipv4Address a(192, 168, 10, 5), b(192, 168, 10, 6);
-  table.add(SimTime::from_seconds(1), udp_packet(a, 1, b, 2, "abc"));
-  table.add(SimTime::from_seconds(9), udp_packet(a, 1, b, 2, "defg"));
+  const Packet first = udp_packet(a, 1, b, 2, "abc");
+  const Packet second = udp_packet(a, 1, b, 2, "defg");
+  table.add(SimTime::from_seconds(1), first);
+  table.add(SimTime::from_seconds(9), second);
   const Flow& flow = table.flows()[0];
   EXPECT_EQ(flow.first_seen(), SimTime::from_seconds(1));
   EXPECT_EQ(flow.last_seen(), SimTime::from_seconds(9));
@@ -213,8 +223,8 @@ TEST(ArpSpoof, InterceptsAndForwardsVictimTraffic) {
 
   // a -> b traffic still arrives (transparent forwarding)...
   std::string received;
-  b.open_udp(7000, [&](Host&, const Packet&, const UdpDatagram& udp) {
-    received = string_of(BytesView(udp.payload));
+  b.open_udp(7000, [&](Host&, const PacketView&, const UdpDatagramView& udp) {
+    received = string_of(udp.payload);
   });
   a.send_udp(b.ip(), 6000, 7000, bytes_of("secret-reading"));
   lan.settle(2);

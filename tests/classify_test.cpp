@@ -5,6 +5,8 @@
 
 #include <cmath>
 
+#include <deque>
+
 #include "classify/classifier.hpp"
 #include "classify/crossval.hpp"
 #include "classify/periodicity.hpp"
@@ -55,9 +57,13 @@ Packet tcp_packet(std::uint16_t sport, std::uint16_t dport, Bytes payload) {
 }
 
 Flow flow_of(const std::vector<Packet>& packets) {
+  // FlowPacket.payload is a view; the call sites pass temporaries, so park
+  // a copy of the packets in a process-lifetime arena to back the views.
+  static std::deque<std::vector<Packet>> arena;
+  arena.push_back(packets);
   FlowTable table;
   SimTime at;
-  for (const auto& p : packets) {
+  for (const auto& p : arena.back()) {
     table.add(at, p);
     at += SimTime::from_ms(5);
   }
@@ -221,7 +227,7 @@ TEST(CrossValidation, CountsAgreementAndDisagreement) {
   // Unlabeled-by-both flow: random payload on random ports.
   flows.push_back(flow_of({udp_packet(40000, 40001, Bytes{0x99, 0x98, 0x97})}));
 
-  const CrossValidation cv = cross_validate(flows, {});
+  const CrossValidation cv = cross_validate(flows, std::vector<Packet>{});
   EXPECT_EQ(cv.total, 3u);
   EXPECT_EQ(cv.agreed, 1u);
   EXPECT_EQ(cv.disagreed, 1u);

@@ -205,6 +205,40 @@ TEST(PipelineDeterminism, ByteIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(PipelineDeterminism, ByteIdenticalAcrossThreadCountsWithFaults) {
+  // The zero-copy capture path (arena + shared delivery buffers) must not
+  // introduce thread-count-dependent behavior even when fault injection
+  // perturbs the frame stream: same seed + same fault plan ⇒ byte-identical
+  // manifest at every worker count.
+  PipelineConfig config;
+  config.idle_duration = SimTime::from_minutes(10);
+  config.interactions = 10;
+  config.app_sample = 0;
+  config.run_scan = false;
+  config.run_crowd = false;
+  config.faults.loss = 0.03;
+  config.faults.duplicate = 0.02;
+  config.faults.truncate = 0.02;
+  config.faults.corrupt = 0.01;
+
+  const auto run_with = [&](int threads) {
+    PipelineConfig c = config;
+    c.threads = threads;
+    Pipeline pipeline(c);
+    return pipeline.run();
+  };
+  const PipelineResults base = run_with(1);
+  EXPECT_FALSE(base.manifest.stages.empty());
+  for (const int threads : {2, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const PipelineResults r = run_with(threads);
+    EXPECT_EQ(r.local_packets, base.local_packets);
+    EXPECT_EQ(obs::to_json(r.manifest), obs::to_json(base.manifest));
+    const obs::ManifestDiff diff = obs::diff_manifests(base.manifest, r.manifest);
+    EXPECT_TRUE(diff.equal) << diff.detail;
+  }
+}
+
 TEST(PipelineDeterminism, AuditNamesFirstDivergentStageAcrossFaultSeeds) {
   // Two runs that differ only in the injected fault stream: the manifests
   // must disagree, and diff_manifests() must attribute the divergence to a

@@ -399,6 +399,8 @@ TEST_P(FlowProperty, EveryTransportPacketLandsInExactlyOneFlow) {
   Rng rng(GetParam());
   FlowTable table;
   std::size_t transport_packets = 0;
+  std::vector<Packet> keep;  // backs the flow table's payload views
+  keep.reserve(500);
   for (int round = 0; round < 500; ++round) {
     Packet p;
     p.eth.src = MacAddress::from_u64(1 + rng.below(6));
@@ -413,7 +415,8 @@ TEST_P(FlowProperty, EveryTransportPacketLandsInExactlyOneFlow) {
     u.dst_port = port(static_cast<std::uint16_t>(1000 + rng.below(4)));
     u.payload = rng.bytes(rng.below(32));
     p.udp = u;
-    table.add(SimTime::from_ms(round), p);
+    keep.push_back(std::move(p));
+    table.add(SimTime::from_ms(round), keep.back());
     ++transport_packets;
   }
   std::size_t in_flows = 0;

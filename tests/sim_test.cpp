@@ -111,8 +111,8 @@ TEST(Switch, UnicastDeliversOnlyToTarget) {
   c.set_static_ip(Ipv4Address(192, 168, 10, 4));
 
   int b_count = 0, c_count = 0;
-  b.packet_monitor = [&](Host&, const Packet&) { ++b_count; };
-  c.packet_monitor = [&](Host&, const Packet&) { ++c_count; };
+  b.packet_monitor = [&](Host&, const PacketView&) { ++b_count; };
+  c.packet_monitor = [&](Host&, const PacketView&) { ++c_count; };
 
   // Prime ARP caches via a broadcast request/reply, then send unicast UDP.
   a.arp_request(b.ip());
@@ -131,8 +131,8 @@ TEST(Switch, BroadcastFloodsToAll) {
   Host c(lan.net, mac_n(4), "c");
   a.set_static_ip(Ipv4Address(192, 168, 10, 2));
   int b_arp = 0, c_arp = 0;
-  b.packet_monitor = [&](Host&, const Packet& p) { b_arp += p.arp.has_value(); };
-  c.packet_monitor = [&](Host&, const Packet& p) { c_arp += p.arp.has_value(); };
+  b.packet_monitor = [&](Host&, const PacketView& p) { b_arp += p.arp.has_value(); };
+  c.packet_monitor = [&](Host&, const PacketView& p) { c_arp += p.arp.has_value(); };
   a.arp_request(Ipv4Address(192, 168, 10, 99));
   lan.settle(1);
   EXPECT_EQ(b_arp, 1);
@@ -244,8 +244,8 @@ TEST(Udp, HandlerReceivesDatagram) {
   a.set_static_ip(Ipv4Address(192, 168, 10, 2));
   b.set_static_ip(Ipv4Address(192, 168, 10, 3));
   std::string got;
-  b.open_udp(7777, [&](Host&, const Packet&, const UdpDatagram& udp) {
-    got = string_of(BytesView(udp.payload));
+  b.open_udp(7777, [&](Host&, const PacketView&, const UdpDatagramView& udp) {
+    got = string_of(udp.payload);
   });
   a.send_udp(b.ip(), 1111, 7777, bytes_of("ping!"));
   lan.settle(2);
@@ -260,7 +260,7 @@ TEST(Udp, MulticastReachesGroupListeners) {
   listener.set_static_ip(Ipv4Address(192, 168, 10, 3));
   int got = 0;
   listener.open_udp(kSsdpPort,
-                    [&](Host&, const Packet&, const UdpDatagram&) { ++got; });
+                    [&](Host&, const PacketView&, const UdpDatagramView&) { ++got; });
   sender.send_udp(kSsdpGroupV4, 5000, kSsdpPort, bytes_of("M-SEARCH..."));
   lan.settle(1);
   EXPECT_EQ(got, 1);
@@ -271,7 +271,7 @@ TEST(Udp, Ipv6LinkLocalDelivery) {
   Host a(lan.net, mac_n(2), "a");
   Host b(lan.net, mac_n(3), "b");
   int got = 0;
-  b.open_udp(kMdnsPort, [&](Host&, const Packet& p, const UdpDatagram&) {
+  b.open_udp(kMdnsPort, [&](Host&, const PacketView& p, const UdpDatagramView&) {
     got += p.ipv6.has_value();
   });
   a.send_udp_v6(Ipv6Address::mdns_group(), kMdnsPort, kMdnsPort, bytes_of("q"));
@@ -352,7 +352,7 @@ TEST(Tcp, SynScanObservesSynAck) {
   target.listen_tcp(80, [](Host&, TcpConnection&) {});
 
   bool got_synack = false, got_rst = false;
-  scanner.packet_monitor = [&](Host&, const Packet& p) {
+  scanner.packet_monitor = [&](Host&, const PacketView& p) {
     if (!p.tcp) return;
     if (p.tcp->flags.syn && p.tcp->flags.ack) got_synack = true;
     if (p.tcp->flags.rst) got_rst = true;
@@ -374,7 +374,7 @@ TEST(Tcp, PingAndIpProtocolProbes) {
   b.extra_ip_protocols = {47};  // GRE "supported"
 
   int echo_replies = 0, proto_unreachable = 0, proto_ok = 0;
-  a.packet_monitor = [&](Host&, const Packet& p) {
+  a.packet_monitor = [&](Host&, const PacketView& p) {
     if (!p.icmp) return;
     if (p.icmp->type == 0 && p.icmp->code == 0) {
       // Both echo replies and supported-protocol markers are type 0.
@@ -412,7 +412,7 @@ TEST(Mdns, QueryGetsMulticastAnswerWithServiceRecords) {
 
   MdnsEndpoint phone_mdns(phone);
   std::optional<DnsMessage> answer;
-  phone_mdns.on_message = [&](const Packet&, const DnsMessage& msg) {
+  phone_mdns.on_message = [&](const PacketView&, const DnsMessage& msg) {
     if (msg.is_response) answer = msg;
   };
   phone_mdns.query("_hue._tcp.local");
@@ -437,7 +437,7 @@ TEST(Mdns, NonMatchingServiceTypeIgnored) {
   hue_mdns.add_service({.instance = "X", .service_type = "_hue._tcp.local"});
   MdnsEndpoint phone_mdns(phone);
   int responses = 0;
-  phone_mdns.on_message = [&](const Packet&, const DnsMessage& msg) {
+  phone_mdns.on_message = [&](const PacketView&, const DnsMessage& msg) {
     responses += msg.is_response;
   };
   phone_mdns.query("_airplay._tcp.local");
@@ -462,10 +462,10 @@ TEST(Mdns, UnicastResponsePolicy) {
   MdnsEndpoint phone_mdns(phone);
   MdnsEndpoint bystander_mdns(bystander);
   int phone_responses = 0, bystander_responses = 0;
-  phone_mdns.on_message = [&](const Packet&, const DnsMessage& m) {
+  phone_mdns.on_message = [&](const PacketView&, const DnsMessage& m) {
     phone_responses += m.is_response;
   };
-  bystander_mdns.on_message = [&](const Packet&, const DnsMessage& m) {
+  bystander_mdns.on_message = [&](const PacketView&, const DnsMessage& m) {
     bystander_responses += m.is_response;
   };
   phone_mdns.query("_x._tcp.local", /*unicast_response=*/true);
@@ -492,7 +492,7 @@ TEST(Ssdp, MSearchAnsweredWhenPolicyAllows) {
 
   SsdpEndpoint phone_ssdp(phone);
   std::optional<SsdpMessage> response;
-  phone_ssdp.on_message = [&](const Packet&, const SsdpMessage& m) {
+  phone_ssdp.on_message = [&](const PacketView&, const SsdpMessage& m) {
     if (m.kind == SsdpKind::kResponse) response = m;
   };
   phone_ssdp.msearch("ssdp:all");
@@ -511,7 +511,7 @@ TEST(Ssdp, SilentWhenPolicyForbids) {
   SsdpEndpoint dev_ssdp(dev);  // respond_to_msearch defaults to false
   SsdpEndpoint phone_ssdp(phone);
   int responses = 0;
-  phone_ssdp.on_message = [&](const Packet&, const SsdpMessage& m) {
+  phone_ssdp.on_message = [&](const PacketView&, const SsdpMessage& m) {
     responses += m.kind == SsdpKind::kResponse;
   };
   phone_ssdp.msearch("ssdp:all");
@@ -562,7 +562,7 @@ TEST(Ssdp, NotifyAliveCarriesUsnAndLocation) {
   dev_ssdp.set_description(desc);
   SsdpEndpoint listener_ssdp(listener);
   std::optional<SsdpMessage> seen;
-  listener_ssdp.on_message = [&](const Packet&, const SsdpMessage& m) {
+  listener_ssdp.on_message = [&](const PacketView&, const SsdpMessage& m) {
     if (m.kind == SsdpKind::kNotify) seen = m;
   };
   dev_ssdp.notify_alive();

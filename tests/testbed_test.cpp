@@ -286,7 +286,10 @@ TEST_F(IdleCapture, InteractionsLightUpHttpAndTplinkControl) {
   lab_->run_interactions(300);
   HybridClassifier classifier;
   FlowTable flows;
-  for (const auto& [at, packet] : lab_->capture().decoded()) flows.add(at, packet);
+  // The flow table records payload views into these packets; the named
+  // local keeps them alive past the loop (decoded() returns by value).
+  const auto decoded = lab_->capture().decoded();
+  for (const auto& [at, packet] : decoded) flows.add(at, packet);
   int http_flows = 0, tplink_tcp = 0;
   for (const auto& flow : flows.flows()) {
     const ProtocolLabel label = classifier.classify_flow(flow);
