@@ -3,8 +3,12 @@
 //
 // Alongside the human-readable output, every bench that calls header()
 // writes a machine-readable `BENCH_<name>.json` at exit — name, wall_ms,
-// any scalars registered via bench::scalar(), and a snapshot of the global
-// telemetry registry — so the perf trajectory is trackable across PRs.
+// any scalars registered via bench::scalar(), build provenance (git SHA,
+// build type, compiler, heap-hook state, hardware threads), and a snapshot
+// of the global telemetry registry — so the perf trajectory is trackable
+// across PRs and a report always names the machine and build that measured
+// it. The git SHA comes from the ROOMNET_GIT_SHA env var (scripts/bench.sh
+// exports it); reports written outside the script say "unknown".
 #pragma once
 
 #include <cctype>
@@ -13,12 +17,18 @@
 #include <cstdlib>
 #include <set>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/roomnet.hpp"
 #include "exec/task_pool.hpp"
+#include "prof/counters.hpp"
 #include "telemetry/export.hpp"
+
+#ifndef ROOMNET_BUILD_TYPE
+#define ROOMNET_BUILD_TYPE "unknown"
+#endif
 
 namespace roomnet::bench {
 
@@ -53,6 +63,25 @@ inline void write_report() {
                "  \"wall_s\": %.6f,\n  \"threads\": %zu,\n",
                report_name.c_str(), wall_ms, wall_ms / 1000.0,
                exec::TaskPool::default_threads());
+  // Provenance: which commit, build, and machine produced these numbers.
+  const char* sha = std::getenv("ROOMNET_GIT_SHA");
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::fprintf(f,
+               "  \"git_sha\": \"%s\",\n  \"build_type\": \"%s\",\n"
+               "  \"compiler\": \"%s\",\n  \"profile_heap\": %s,\n"
+               "  \"hardware_threads\": %u,\n",
+               (sha != nullptr && *sha != '\0') ? sha : "unknown",
+               ROOMNET_BUILD_TYPE, __VERSION__,
+               prof::heap_hooks_active() ? "true" : "false",
+               hw == 0 ? 1 : hw);
+  // bench_guard keys its machine-shape skip off this scalar; guarantee it
+  // even for benches that did not register it themselves.
+  bool has_hardware_threads = false;
+  for (const auto& [key, value] : report_scalars)
+    if (key == "hardware_threads") has_hardware_threads = true;
+  if (!has_hardware_threads)
+    report_scalars.emplace_back("hardware_threads",
+                                static_cast<double>(hw == 0 ? 1 : hw));
   std::fprintf(f, "  \"scalars\": {");
   bool first = true;
   for (const auto& [key, value] : report_scalars) {

@@ -30,8 +30,14 @@
 // ---------------------------------------------------------------------------
 // Counting allocator: every global new/delete is tallied so the two replay
 // loops can report exact heap traffic. Allocation itself stays malloc.
+// With ROOMNET_PROFILE=ON the roomnet::prof hooks already own the global
+// operators (defining them twice would not link), so the bench reads the
+// prof counters instead; those tally usable block size rather than request
+// size, so per-frame bytes shift slightly in profile builds — the committed
+// baseline comes from the plain Release build.
 // ---------------------------------------------------------------------------
 
+#ifndef ROOMNET_PROFILE_HEAP
 namespace {
 std::atomic<std::uint64_t> g_heap_bytes{0};
 std::atomic<std::uint64_t> g_heap_calls{0};
@@ -61,6 +67,7 @@ void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
   std::free(p);
 }
+#endif  // !ROOMNET_PROFILE_HEAP
 
 using namespace roomnet;
 using namespace roomnet::bench;
@@ -72,10 +79,17 @@ struct HeapSnapshot {
   std::uint64_t calls;
 };
 
+#ifdef ROOMNET_PROFILE_HEAP
+HeapSnapshot heap_now() {
+  const prof::AllocSnapshot s = prof::snapshot_alloc_counters();
+  return {s.heap_bytes, s.heap_allocs};
+}
+#else
 HeapSnapshot heap_now() {
   return {g_heap_bytes.load(std::memory_order_relaxed),
           g_heap_calls.load(std::memory_order_relaxed)};
 }
+#endif
 
 double ms_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(

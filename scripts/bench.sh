@@ -13,6 +13,13 @@ cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
+# Provenance for the BENCH_*.json reports: which commit produced them.
+ROOMNET_GIT_SHA="$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
+if ! git diff --quiet HEAD 2>/dev/null; then
+  ROOMNET_GIT_SHA="${ROOMNET_GIT_SHA}-dirty"
+fi
+export ROOMNET_GIT_SHA
+
 echo "== Release build =="
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-bench -j "${JOBS}"

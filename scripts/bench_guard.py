@@ -1,23 +1,45 @@
 #!/usr/bin/env python3
-"""Fails CI when a bench report's wall time regresses past the allowed ratio.
+"""Fails CI when a bench report regresses past per-metric thresholds.
 
 Usage:
     bench_guard.py CURRENT.json BASELINE.json [--max-regression 0.25]
+                   [--max-alloc-regression 0.10] [--max-rss-regression 0.10]
 
 CURRENT.json is a fresh BENCH_<name>.json written by scripts/bench.sh;
-BASELINE.json is the committed reference under bench/baselines/. The guard
-compares wall_s and fails (exit 1) when the current run is more than
---max-regression slower than the baseline.
+BASELINE.json is the committed reference under bench/baselines/. Three gate
+families, each with its own threshold and a one-line summary per metric:
 
-Wall-clock comparisons only mean something on comparable machines, so when
-the two reports disagree on scalars.hardware_threads the guard SKIPs
-(exit 0 with a notice) instead of judging: the committed baseline records
-the machine shape it was measured on.
+  time   wall_s                           --max-regression (default +25%)
+  alloc  scalars whose key names an       --max-alloc-regression (default
+         allocation count/byte rate        +10%); these are deterministic
+         (heap_bytes/heap_calls/           for a fixed workload, so they
+         heap_allocs/arena_*)              compare even across machines
+  rss    scalars containing "peak_rss"    --max-rss-regression (default +10%)
+
+Wall-clock and RSS comparisons only mean something on comparable machines,
+so when the two reports disagree on scalars.hardware_threads those gates
+SKIP (with a notice) instead of judging: the committed baseline records the
+machine shape it was measured on. Allocation gates always compare.
+
+Exit 0 when every compared gate passes, 1 when any metric regressed past
+its limit (the summary names the first one).
 """
 
 import argparse
 import json
 import sys
+
+# Substrings that mark a scalar as an allocation metric (lower is better).
+# Deliberately narrow: ratios like "alloc_reduction_ratio" are higher-is-
+# better and must NOT be gated here.
+ALLOC_KEY_MARKS = (
+    "heap_bytes",
+    "heap_calls",
+    "heap_allocs",
+    "arena_bytes",
+    "arena_allocs",
+)
+RSS_KEY_MARK = "peak_rss"
 
 
 def load(path):
@@ -25,54 +47,112 @@ def load(path):
         return json.load(f)
 
 
+def is_alloc_key(key):
+    return any(mark in key for mark in ALLOC_KEY_MARKS)
+
+
 def main():
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     parser.add_argument("current", help="fresh BENCH_<name>.json")
     parser.add_argument("baseline", help="committed baseline json")
     parser.add_argument(
         "--max-regression",
         type=float,
         default=0.25,
-        help="maximum allowed slowdown ratio vs baseline (default 0.25)",
+        help="maximum allowed wall-time slowdown ratio (default 0.25)",
+    )
+    parser.add_argument(
+        "--max-alloc-regression",
+        type=float,
+        default=0.10,
+        help="maximum allowed allocation-metric increase (default 0.10)",
+    )
+    parser.add_argument(
+        "--max-rss-regression",
+        type=float,
+        default=0.10,
+        help="maximum allowed peak-RSS increase (default 0.10)",
     )
     args = parser.parse_args()
 
     current = load(args.current)
     baseline = load(args.baseline)
     name = current.get("name", args.current)
+    cur_scalars = current.get("scalars", {})
+    base_scalars = baseline.get("scalars", {})
 
-    def summary(compared, skipped):
-        print(
-            f"bench_guard: summary — {compared} compared, {skipped} skipped"
-        )
-
-    current_hw = current.get("scalars", {}).get("hardware_threads")
-    baseline_hw = baseline.get("scalars", {}).get("hardware_threads")
-    if current_hw != baseline_hw:
-        print(
-            f"bench_guard: SKIP {name} — hardware_threads {current_hw} does "
-            f"not match baseline {baseline_hw}; wall-clock comparison would "
-            f"be noise"
-        )
-        summary(compared=0, skipped=1)
-        return 0
-
-    current_s = float(current["wall_s"])
-    baseline_s = float(baseline["wall_s"])
-    if baseline_s <= 0:
-        print(f"bench_guard: SKIP {name} — baseline wall_s is not positive")
-        summary(compared=0, skipped=1)
-        return 0
-
-    ratio = (current_s - baseline_s) / baseline_s
-    print(
-        f"bench_guard: {name}: "
-        f"wall {current_s:.3f}s vs baseline {baseline_s:.3f}s "
-        f"({ratio:+.1%}, limit +{args.max_regression:.0%})"
+    same_hardware = cur_scalars.get("hardware_threads") == base_scalars.get(
+        "hardware_threads"
     )
-    summary(compared=1, skipped=0)
-    if ratio > args.max_regression:
-        print("bench_guard: FAIL — wall time regressed past the limit")
+    if not same_hardware:
+        print(
+            f"bench_guard: SKIP time+rss gates for {name} — "
+            f"hardware_threads {cur_scalars.get('hardware_threads')} does "
+            f"not match baseline {base_scalars.get('hardware_threads')}; "
+            f"wall-clock/RSS comparison would be noise"
+        )
+
+    compared = 0
+    skipped = 0
+    failures = []
+
+    def gate(metric, cur_value, base_value, limit, enabled):
+        nonlocal compared, skipped
+        if not enabled or base_value is None or cur_value is None:
+            skipped += 1
+            return
+        base_value = float(base_value)
+        cur_value = float(cur_value)
+        if base_value <= 0:
+            print(f"bench_guard: SKIP {name}.{metric} — baseline not positive")
+            skipped += 1
+            return
+        ratio = (cur_value - base_value) / base_value
+        verdict = "REGRESSED" if ratio > limit else "ok"
+        print(
+            f"bench_guard: {name}.{metric}: {cur_value:.6g} vs baseline "
+            f"{base_value:.6g} ({ratio:+.1%}, limit +{limit:.0%}) {verdict}"
+        )
+        compared += 1
+        if ratio > limit:
+            failures.append(metric)
+
+    gate(
+        "wall_s",
+        current.get("wall_s"),
+        baseline.get("wall_s"),
+        args.max_regression,
+        enabled=same_hardware,
+    )
+    # Scalar gates key off the baseline: a metric added since the baseline
+    # was committed has nothing to compare against yet.
+    for key in sorted(base_scalars):
+        if is_alloc_key(key):
+            gate(
+                key,
+                cur_scalars.get(key),
+                base_scalars[key],
+                args.max_alloc_regression,
+                enabled=True,
+            )
+        elif RSS_KEY_MARK in key:
+            gate(
+                key,
+                cur_scalars.get(key),
+                base_scalars[key],
+                args.max_rss_regression,
+                enabled=same_hardware,
+            )
+
+    print(f"bench_guard: summary — {compared} compared, {skipped} skipped")
+    if failures:
+        print(
+            f"bench_guard: FAIL — {len(failures)} metric(s) regressed past "
+            f"the limit, first: {failures[0]}"
+        )
         return 1
     print("bench_guard: OK")
     return 0

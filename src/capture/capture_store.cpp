@@ -1,6 +1,28 @@
 #include "capture/capture_store.hpp"
 
+#include "telemetry/metrics.hpp"
+
 namespace roomnet {
+
+CaptureStore::CaptureStore() {
+  auto& registry = telemetry::Registry::global();
+  arena_chunks_gauge_ = &registry.gauge("roomnet_capture_arena_chunks");
+  arena_large_chunks_gauge_ =
+      &registry.gauge("roomnet_capture_arena_large_chunks");
+  arena_bytes_used_gauge_ =
+      &registry.gauge("roomnet_capture_arena_bytes_used");
+  arena_bytes_reserved_gauge_ =
+      &registry.gauge("roomnet_capture_arena_bytes_reserved");
+}
+
+void CaptureStore::publish_arena_gauges() const {
+  arena_chunks_gauge_->set(static_cast<std::int64_t>(arena_.chunk_count()));
+  arena_large_chunks_gauge_->set(
+      static_cast<std::int64_t>(arena_.large_chunk_count()));
+  arena_bytes_used_gauge_->set(static_cast<std::int64_t>(arena_.byte_count()));
+  arena_bytes_reserved_gauge_->set(
+      static_cast<std::int64_t>(arena_.capacity()));
+}
 
 PacketView CaptureStore::append(SimTime at, const PacketView& view,
                                 BytesView raw) {
@@ -36,6 +58,7 @@ PacketView CaptureStore::append(SimTime at, const PacketView& view,
   dst_ports_.push(dp ? value(*dp) : std::uint16_t{0});
   payloads_.push(stored.app_payload());
 
+  publish_arena_gauges();
   return stored;
 }
 

@@ -23,8 +23,13 @@
 #include "netcore/frame_store.hpp"
 #include "netcore/packet_view.hpp"
 #include "netcore/time.hpp"
+#include "prof/counters.hpp"
 
 namespace roomnet {
+
+namespace telemetry {
+class Gauge;
+}  // namespace telemetry
 
 namespace detail {
 
@@ -36,8 +41,10 @@ class ChunkedColumn {
   static constexpr std::size_t kChunk = 1024;
 
   T& push(const T& value) {
-    if (count_ % kChunk == 0)
+    if (count_ % kChunk == 0) {
       chunks_.push_back(std::make_unique<T[]>(kChunk));
+      prof::note_arena_alloc(kChunk * sizeof(T));
+    }
     T& slot = chunks_.back()[count_ % kChunk];
     slot = value;
     ++count_;
@@ -58,6 +65,11 @@ class ChunkedColumn {
 
 class CaptureStore {
  public:
+  /// Resolves the arena-occupancy telemetry gauges once (they are shared by
+  /// every store in the process; the last writer wins, and the pipeline owns
+  /// exactly one store at a time).
+  CaptureStore();
+
   /// Copies `raw` into the arena and stores `view` rebased onto the arena
   /// copy. `view` must have been decoded from (or rebased onto) `raw`.
   /// Returns the stored, arena-backed view.
@@ -115,7 +127,18 @@ class CaptureStore {
     std::uint32_t igmp = kAbsent;
   };
 
+  /// Publishes arena occupancy (chunks, bytes used/reserved, large chunks)
+  /// to the roomnet_capture_arena_* gauges. Called from append(); cost is
+  /// four relaxed stores.
+  void publish_arena_gauges() const;
+
   FrameStore arena_;
+  // Occupancy gauges, resolved once in the constructor (registry lookups
+  // take a lock; append() must not).
+  telemetry::Gauge* arena_chunks_gauge_;
+  telemetry::Gauge* arena_large_chunks_gauge_;
+  telemetry::Gauge* arena_bytes_used_gauge_;
+  telemetry::Gauge* arena_bytes_reserved_gauge_;
   detail::ChunkedColumn<Row> rows_;
   detail::ChunkedColumn<ArpPacket> arp_col_;
   detail::ChunkedColumn<LlcXidFrameView> llc_col_;

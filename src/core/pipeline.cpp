@@ -11,6 +11,8 @@
 #include "exec/parallel.hpp"
 #include "exec/task_pool.hpp"
 #include "obs/log.hpp"
+#include "prof/folded.hpp"
+#include "prof/profiler.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -19,7 +21,8 @@ namespace roomnet {
 
 namespace {
 
-/// One pipeline stage: a trace span (when tracing is on) plus always-on
+/// One pipeline stage: a trace span (when tracing is on), a profiler stage
+/// bracket (rusage + allocation deltas into perf.json), plus always-on
 /// wall/sim duration gauges under `roomnet_pipeline_stage_*{stage=...}`.
 class StageTimer {
  public:
@@ -27,6 +30,7 @@ class StageTimer {
       : stage_(stage),
         loop_(&loop),
         span_(stage, "pipeline"),
+        prof_(stage),
         wall_start_(std::chrono::steady_clock::now()),
         sim_start_(loop.now()) {
     ROOMNET_LOG(kInfo, "pipeline", "stage_begin", kv("stage", stage_),
@@ -52,6 +56,7 @@ class StageTimer {
   const char* stage_;
   const EventLoop* loop_;
   telemetry::ScopedSpan span_;
+  prof::StageScope prof_;
   std::chrono::steady_clock::time_point wall_start_;
   SimTime sim_start_;
 };
@@ -111,6 +116,7 @@ PipelineResults Pipeline::run() {
   registry.gauge("roomnet_exec_pool_threads")
       .set(static_cast<std::int64_t>(pool.threads()));
   SimClockGuard sim_clock(lab_->loop());
+  prof::Profiler::global().begin_run(static_cast<int>(pool.threads()));
   std::optional<telemetry::ScopedSpan> pipeline_span;
   pipeline_span.emplace("pipeline", "pipeline");
 
@@ -338,21 +344,26 @@ PipelineResults Pipeline::run() {
   }
 
   // Churn ledger: every outage the run absorbed, in deterministic order.
-  if (churn_ != nullptr) {
-    churn_->detach();
-    for (const auto& event : churn_->log()) {
-      if (event.online) continue;
-      results.degraded.push_back(
-          {"churn", event.label,
-           "offline at t=" +
-               std::to_string(static_cast<long long>(event.at.seconds())) +
-               "s"});
-      degraded_counter("churn").inc();
+  // Bracketed as a stage so perf.json covers every stage the manifest names.
+  {
+    StageTimer stage("degraded", lab_->loop());
+    if (churn_ != nullptr) {
+      churn_->detach();
+      for (const auto& event : churn_->log()) {
+        if (event.online) continue;
+        results.degraded.push_back(
+            {"churn", event.label,
+             "offline at t=" +
+                 std::to_string(static_cast<long long>(event.at.seconds())) +
+                 "s"});
+        degraded_counter("churn").inc();
+      }
     }
   }
   // The degradation ledger is itself a manifest stage: churn outages and
   // stage losses under faults must replay identically across thread counts.
   record_stage("degraded", hash_degraded_ledger(results.degraded));
+  results.profile = prof::Profiler::global().finish();
 
   results.manifest = manifest.finish();
   ROOMNET_LOG(kInfo, "pipeline", "run_end",
@@ -365,6 +376,9 @@ PipelineResults Pipeline::run() {
   pipeline_span.reset();  // close the whole-run span before exporting
   if (telemetry_run) {
     roomnet_telemetry_report(config_.telemetry_out);
+    write_text_file(config_.telemetry_out + "/perf.json",
+                    prof::to_json(results.profile));
+    prof::write_folded_stacks(config_.telemetry_out);
     write_text_file(config_.telemetry_out + "/manifest.json",
                     obs::to_json(results.manifest));
     write_text_file(config_.telemetry_out + "/resources.json",

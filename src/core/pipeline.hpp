@@ -17,6 +17,7 @@
 #include "crowd/entropy.hpp"
 #include "faults/churn.hpp"
 #include "obs/manifest.hpp"
+#include "prof/report.hpp"
 #include "scan/vuln.hpp"
 #include "testbed/lab.hpp"
 
@@ -81,6 +82,13 @@ struct PipelineResults {
   /// Byte-identical (as obs::to_json) across thread counts for one seed;
   /// written to `telemetry_out/manifest.json` when telemetry is enabled.
   obs::RunManifest manifest;
+  /// Resource twin of the manifest: per-stage wall/user/sys time, page
+  /// faults, RSS, and allocation counters, keyed to the same stage names
+  /// the manifest hashes. The arena counters and stage set are
+  /// deterministic across thread counts; timings and heap counters are
+  /// host-dependent (DESIGN.md §11). Written to `telemetry_out/perf.json`
+  /// (plus trace.folded / alloc.folded) when telemetry is enabled.
+  prof::ProfReport profile;
 };
 
 class Pipeline {

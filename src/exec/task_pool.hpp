@@ -21,6 +21,17 @@
 //   roomnet_exec_task_latency_us         per-task run time (workers only;
 //                                        recorded when telemetry::enabled())
 //   roomnet_exec_pool_threads            configured parallelism (gauge)
+//   roomnet_exec_worker_busy_us_total{worker=N}
+//                                        per-worker utilization: µs spent
+//                                        inside tasks (telemetry::enabled()
+//                                        runs only — wall reads cost)
+//   roomnet_exec_task_heap_allocs_total / roomnet_exec_task_heap_bytes_total
+//                                        heap allocations attributed to task
+//                                        bodies via the prof thread counters
+//                                        (move only with ROOMNET_PROFILE=ON)
+//
+// Every submitted task also ticks prof::note_pool_task(), the explicit
+// allocation hook the per-stage profiler reads (perf.json `pool_tasks`).
 #pragma once
 
 #include <condition_variable>
@@ -73,7 +84,10 @@ class TaskPool {
 
  private:
   void worker_loop(std::size_t index);
-  void run_task(std::function<void()>& task);
+  /// `busy_us` is the executing worker's utilization counter (null when the
+  /// task runs inline on the calling thread).
+  void run_task(std::function<void()>& task,
+                telemetry::Counter* busy_us = nullptr);
 
   std::size_t threads_;
   std::vector<std::thread> workers_;
@@ -87,6 +101,9 @@ class TaskPool {
   telemetry::Counter* completed_;
   telemetry::Gauge* queue_high_water_;
   telemetry::Histogram* latency_us_;
+  telemetry::Counter* task_heap_allocs_;
+  telemetry::Counter* task_heap_bytes_;
+  std::vector<telemetry::Counter*> worker_busy_us_;  // one per worker
 };
 
 }  // namespace roomnet::exec

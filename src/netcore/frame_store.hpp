@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "netcore/bytes.hpp"
+#include "prof/counters.hpp"
 
 namespace roomnet {
 
@@ -49,6 +50,11 @@ class FrameStore {
   [[nodiscard]] std::size_t chunk_count() const {
     return chunks_.size() + large_chunks_.size();
   }
+  /// Oversize frames that earned a dedicated chunk (each one is arena waste
+  /// pressure: its bytes are reserved exactly, but it cost an allocation).
+  [[nodiscard]] std::size_t large_chunk_count() const {
+    return large_chunks_.size();
+  }
   /// Total bytes reserved from the allocator (>= byte_count(): chunk tails
   /// left unfilled when the next frame does not fit are never reused).
   [[nodiscard]] std::size_t capacity() const {
@@ -62,11 +68,13 @@ class FrameStore {
       // chunk's free tail stays usable for subsequent small frames.
       large_chunks_.push_back(std::make_unique<std::uint8_t[]>(n));
       chunk_capacity_total_ += n;
+      prof::note_arena_alloc(n);
       return large_chunks_.back().get();
     }
     if (chunks_.empty() || used_ + n > chunk_size_) {
       chunks_.push_back(std::make_unique<std::uint8_t[]>(chunk_size_));
       chunk_capacity_total_ += chunk_size_;
+      prof::note_arena_alloc(chunk_size_);
       used_ = 0;
     }
     std::uint8_t* p = chunks_.back().get() + used_;

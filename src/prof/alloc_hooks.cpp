@@ -1,0 +1,129 @@
+// Global operator new/delete hooks, compiled to live replacements only when
+// the build is configured with -DROOMNET_PROFILE=ON (which defines
+// ROOMNET_PROFILE_HEAP). With the option off this file contributes just
+// heap_hooks_active() == false, and allocation goes straight to the
+// system allocator — zero overhead, honoring the ≤5% OFF budget.
+//
+// The hooks count every allocation into prof::global_alloc_counters() and
+// the calling thread's prof::t_alloc_counters. Bytes are measured with
+// malloc_usable_size() where glibc provides it, so alloc and free sides
+// agree and live-byte accounting stays balanced; elsewhere frees through
+// the unsized operator delete are counted with zero bytes.
+//
+// Do not combine with AddressSanitizer leak checking: ASan's allocator
+// interceptors and these overrides both want the global new/delete slots.
+// scripts/check.sh never enables both.
+#include "prof/counters.hpp"
+
+#ifdef ROOMNET_PROFILE_HEAP
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+#if __has_include(<malloc.h>)
+#include <malloc.h>
+#define ROOMNET_HAVE_MALLOC_USABLE_SIZE 1
+#endif
+
+namespace {
+
+std::size_t block_size(void* p, std::size_t fallback) noexcept {
+#ifdef ROOMNET_HAVE_MALLOC_USABLE_SIZE
+  if (p != nullptr) return malloc_usable_size(p);
+  return fallback;
+#else
+  (void)p;
+  return fallback;
+#endif
+}
+
+void* counted_alloc(std::size_t n, std::size_t align) {
+  void* p = nullptr;
+  if (align > alignof(std::max_align_t)) {
+    // aligned_alloc requires the size to be a multiple of the alignment.
+    const std::size_t rounded = (n + align - 1) / align * align;
+    p = std::aligned_alloc(align, rounded);
+  } else {
+    p = std::malloc(n == 0 ? 1 : n);
+  }
+  if (p != nullptr) roomnet::prof::note_heap_alloc(block_size(p, n));
+  return p;
+}
+
+void counted_free(void* p, std::size_t size_hint) noexcept {
+  if (p == nullptr) return;
+  roomnet::prof::note_heap_free(block_size(p, size_hint));
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) {
+  void* p = counted_alloc(n, 0);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t n) { return operator new(n); }
+
+void* operator new(std::size_t n, std::align_val_t align) {
+  void* p = counted_alloc(n, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t n, std::align_val_t align) {
+  return operator new(n, align);
+}
+
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  return counted_alloc(n, 0);
+}
+
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return counted_alloc(n, 0);
+}
+
+void* operator new(std::size_t n, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_alloc(n, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t n, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_alloc(n, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { counted_free(p, 0); }
+void operator delete[](void* p) noexcept { counted_free(p, 0); }
+void operator delete(void* p, std::size_t n) noexcept { counted_free(p, n); }
+void operator delete[](void* p, std::size_t n) noexcept { counted_free(p, n); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p, 0); }
+void operator delete[](void* p, std::align_val_t) noexcept {
+  counted_free(p, 0);
+}
+void operator delete(void* p, std::size_t n, std::align_val_t) noexcept {
+  counted_free(p, n);
+}
+void operator delete[](void* p, std::size_t n, std::align_val_t) noexcept {
+  counted_free(p, n);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  counted_free(p, 0);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  counted_free(p, 0);
+}
+
+namespace roomnet::prof {
+bool heap_hooks_active() { return true; }
+}  // namespace roomnet::prof
+
+#else  // !ROOMNET_PROFILE_HEAP
+
+namespace roomnet::prof {
+bool heap_hooks_active() { return false; }
+}  // namespace roomnet::prof
+
+#endif

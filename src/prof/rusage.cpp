@@ -1,0 +1,82 @@
+#include "prof/rusage.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#if __has_include(<sys/resource.h>)
+#include <sys/resource.h>
+#define ROOMNET_HAVE_GETRUSAGE 1
+#endif
+#if __has_include(<unistd.h>)
+#include <unistd.h>
+#define ROOMNET_HAVE_UNISTD 1
+#endif
+
+namespace roomnet::prof {
+
+namespace {
+
+std::int64_t steady_us() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+/// VmRSS in kB from /proc/self/statm (field 2, in pages). Cheaper to parse
+/// than /proc/self/status and always two integers deep.
+std::int64_t statm_rss_kb() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long long vm_pages = 0;
+  long long rss_pages = 0;
+  const int fields = std::fscanf(f, "%lld %lld", &vm_pages, &rss_pages);
+  std::fclose(f);
+  if (fields != 2) return 0;
+  return rss_pages * page_size_bytes() / 1024;
+}
+
+}  // namespace
+
+std::int64_t page_size_bytes() {
+#ifdef ROOMNET_HAVE_UNISTD
+  static const std::int64_t page = sysconf(_SC_PAGESIZE);
+  return page > 0 ? page : 0;
+#else
+  return 0;
+#endif
+}
+
+ResourceSample ResourceSample::now() {
+  ResourceSample s;
+  s.wall_us = steady_us();
+#ifdef ROOMNET_HAVE_GETRUSAGE
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    s.user_us = static_cast<std::int64_t>(usage.ru_utime.tv_sec) * 1000000 +
+                usage.ru_utime.tv_usec;
+    s.sys_us = static_cast<std::int64_t>(usage.ru_stime.tv_sec) * 1000000 +
+               usage.ru_stime.tv_usec;
+    s.minor_faults = usage.ru_minflt;
+    s.major_faults = usage.ru_majflt;
+    s.peak_rss_kb = usage.ru_maxrss;  // kilobytes on Linux
+  }
+#endif
+  s.rss_kb = statm_rss_kb();
+  return s;
+}
+
+ResourceDelta delta(const ResourceSample& a, const ResourceSample& b) {
+  ResourceDelta d;
+  d.wall_us = b.wall_us - a.wall_us;
+  d.user_us = b.user_us - a.user_us;
+  d.sys_us = b.sys_us - a.sys_us;
+  d.minor_faults = b.minor_faults - a.minor_faults;
+  d.major_faults = b.major_faults - a.major_faults;
+  d.rss_delta_kb = b.rss_kb - a.rss_kb;
+  d.rss_kb = b.rss_kb;
+  d.peak_rss_kb = b.peak_rss_kb;
+  return d;
+}
+
+}  // namespace roomnet::prof

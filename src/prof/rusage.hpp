@@ -1,0 +1,45 @@
+// OS resource sampling for the profiler: one ResourceSample is a cumulative
+// point-in-time reading of the process's CPU time, fault counts, and
+// resident set, taken from getrusage(RUSAGE_SELF) plus /proc/self/statm.
+// Per-stage costs are deltas between two samples. Everything here is
+// host-dependent by nature (DESIGN.md §11): none of it feeds determinism
+// hashes, and on platforms without /proc the RSS fields read as zero.
+#pragma once
+
+#include <cstdint>
+
+namespace roomnet::prof {
+
+struct ResourceSample {
+  std::int64_t wall_us = 0;   // steady clock, since process-local epoch
+  std::int64_t user_us = 0;   // cumulative user CPU (all threads)
+  std::int64_t sys_us = 0;    // cumulative system CPU
+  std::int64_t minor_faults = 0;  // cumulative, no I/O (ru_minflt)
+  std::int64_t major_faults = 0;  // cumulative, required I/O (ru_majflt)
+  std::int64_t rss_kb = 0;        // current resident set (statm, kB)
+  std::int64_t peak_rss_kb = 0;   // high-water resident set (ru_maxrss, kB)
+
+  [[nodiscard]] static ResourceSample now();
+};
+
+/// b - a for the cumulative fields; rss/peak_rss carry b's absolute values
+/// (a delta of a high-water mark is meaningless).
+struct ResourceDelta {
+  std::int64_t wall_us = 0;
+  std::int64_t user_us = 0;
+  std::int64_t sys_us = 0;
+  std::int64_t minor_faults = 0;
+  std::int64_t major_faults = 0;
+  std::int64_t rss_delta_kb = 0;  // signed: stages can shrink the RSS
+  std::int64_t rss_kb = 0;        // absolute, at the end sample
+  std::int64_t peak_rss_kb = 0;   // absolute, at the end sample
+};
+
+[[nodiscard]] ResourceDelta delta(const ResourceSample& a,
+                                  const ResourceSample& b);
+
+/// sysconf(_SC_PAGESIZE) (0 where unavailable) — perf.json records it so a
+/// report names the units its fault counts were paid in.
+[[nodiscard]] std::int64_t page_size_bytes();
+
+}  // namespace roomnet::prof

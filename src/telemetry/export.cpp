@@ -202,8 +202,11 @@ std::string trace_to_chrome_json(const Tracer& tracer) {
     }
     std::snprintf(buf, sizeof(buf),
                   ",\"args\":{\"sim_start_us\":%" PRId64
-                  ",\"sim_end_us\":%" PRId64 "}}",
-                  e.sim_start_us, e.sim_end_us);
+                  ",\"sim_end_us\":%" PRId64 ",\"alloc_count\":%" PRIu64
+                  ",\"alloc_bytes\":%" PRIu64 ",\"arena_bytes\":%" PRIu64
+                  "}}",
+                  e.sim_start_us, e.sim_end_us, e.alloc_count, e.alloc_bytes,
+                  e.arena_bytes);
     out += buf;
   }
   out += "\n],\"displayTimeUnit\":\"ms\"}\n";

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "prof/counters.hpp"
+
 namespace roomnet::telemetry {
 
 void Tracer::enable(std::size_t capacity) {
@@ -68,7 +70,9 @@ void Tracer::record_complete(const std::string& name,
                              const std::string& category,
                              std::uint64_t wall_start_us,
                              std::uint64_t wall_dur_us, SimTime sim_start,
-                             SimTime sim_end) {
+                             SimTime sim_end, std::uint64_t alloc_count,
+                             std::uint64_t alloc_bytes,
+                             std::uint64_t arena_bytes) {
   if (!enabled()) return;
   push(TraceEvent{.name = name,
                   .category = category,
@@ -76,7 +80,10 @@ void Tracer::record_complete(const std::string& name,
                   .wall_start_us = wall_start_us,
                   .wall_dur_us = wall_dur_us,
                   .sim_start_us = sim_start.us(),
-                  .sim_end_us = sim_end.us()});
+                  .sim_end_us = sim_end.us(),
+                  .alloc_count = alloc_count,
+                  .alloc_bytes = alloc_bytes,
+                  .arena_bytes = arena_bytes});
 }
 
 void Tracer::record_instant(const std::string& name,
@@ -125,14 +132,22 @@ ScopedSpan::ScopedSpan(std::string name, std::string category, Tracer& tracer)
   tracer_ = &tracer;
   wall_start_us_ = tracer.wall_now_us();
   sim_start_ = tracer.sim_now();
+  const prof::ThreadAllocCounters& alloc = prof::t_alloc_counters;
+  alloc_count_start_ = alloc.heap_allocs;
+  alloc_bytes_start_ = alloc.heap_bytes;
+  arena_bytes_start_ = alloc.arena_bytes;
 }
 
 ScopedSpan::~ScopedSpan() {
   if (tracer_ == nullptr) return;
   const std::uint64_t end = tracer_->wall_now_us();
+  const prof::ThreadAllocCounters& alloc = prof::t_alloc_counters;
   tracer_->record_complete(name_, category_, wall_start_us_,
                            end - wall_start_us_, sim_start_,
-                           tracer_->sim_now());
+                           tracer_->sim_now(),
+                           alloc.heap_allocs - alloc_count_start_,
+                           alloc.heap_bytes - alloc_bytes_start_,
+                           alloc.arena_bytes - arena_bytes_start_);
 }
 
 void enable(std::size_t trace_capacity) {

@@ -34,6 +34,14 @@ struct TraceEvent {
   std::uint64_t wall_dur_us = 0;    // complete spans only
   std::int64_t sim_start_us = 0;    // SimTime at span begin
   std::int64_t sim_end_us = 0;      // SimTime at span end
+  // Allocation attribution (complete spans): deltas of the calling thread's
+  // prof counters across the span. Heap fields move only when the build has
+  // the ROOMNET_PROFILE operator-new hooks armed; arena bytes always count.
+  // Work a span hands to pool workers is attributed to the workers' own
+  // spans, not the caller's — attribution is per thread by design.
+  std::uint64_t alloc_count = 0;  // heap allocations on this thread
+  std::uint64_t alloc_bytes = 0;  // heap bytes on this thread
+  std::uint64_t arena_bytes = 0;  // capture-arena bytes on this thread
 };
 
 class Tracer {
@@ -54,7 +62,10 @@ class Tracer {
 
   void record_complete(const std::string& name, const std::string& category,
                        std::uint64_t wall_start_us, std::uint64_t wall_dur_us,
-                       SimTime sim_start, SimTime sim_end);
+                       SimTime sim_start, SimTime sim_end,
+                       std::uint64_t alloc_count = 0,
+                       std::uint64_t alloc_bytes = 0,
+                       std::uint64_t arena_bytes = 0);
   void record_instant(const std::string& name, const std::string& category);
 
   /// Microseconds of wall clock since enable().
@@ -116,6 +127,11 @@ class ScopedSpan {
   std::string category_;
   std::uint64_t wall_start_us_ = 0;
   SimTime sim_start_;
+  // Thread-local prof counter levels at construction (per-span allocation
+  // attribution; see TraceEvent).
+  std::uint64_t alloc_count_start_ = 0;
+  std::uint64_t alloc_bytes_start_ = 0;
+  std::uint64_t arena_bytes_start_ = 0;
 };
 
 /// Master switch for the costly instrumentation (tracing + per-callback

@@ -1,0 +1,211 @@
+// roomnet-prof: the perf-regression ledger CLI — the resource twin of
+// roomnet-audit.
+//
+//   roomnet-prof run <out_dir> [options]   run the pipeline with profiling
+//                                          telemetry, write perf.json (plus
+//                                          trace.folded / alloc.folded) into
+//                                          out_dir, print the stage table
+//   roomnet-prof show <perf.json>          print a report's stage table and
+//                                          its deterministic fingerprint
+//   roomnet-prof diff <current> <baseline> [gates]
+//                                          compare two perf.json files and
+//                                          name the FIRST regressing stage
+//
+// `diff` exits 0 when every gate passes, 1 on a regression (naming the first
+// regressing stage and metric), 2 on usage or I/O errors — so CI can gate a
+// PR on "no stage got slower or hungrier than the committed baseline".
+// Wall-time and RSS gates auto-skip when the two reports disagree on
+// hardware_threads; heap gates skip across compilers or unhooked builds; the
+// arena gates always compare (deterministic by contract, DESIGN.md §11).
+//
+// run options (mirroring roomnet-audit):
+//   --seed N           sim seed (default 42)
+//   --threads N        worker parallelism (default 1)
+//   --idle-minutes N   idle-capture window (default 10)
+//   --interactions N   interaction count (default 20)
+//   --app-sample N     apps executed (default 0: skip the campaign)
+//   --no-scan          skip the active scan stage
+//   --no-crowd         skip the crowd entropy stage
+//
+// diff gate options (fractions, e.g. 0.25 = +25%):
+//   --max-time P       wall-time regression limit (default 0.25)
+//   --max-alloc P      allocation regression limit (default 0.10)
+//   --max-rss P        peak-RSS regression limit (default 0.10)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "prof/report.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: roomnet-prof run <out_dir> [--seed N] [--threads N]\n"
+      "                       [--idle-minutes N] [--interactions N]\n"
+      "                       [--app-sample N] [--no-scan] [--no-crowd]\n"
+      "       roomnet-prof show <perf.json>\n"
+      "       roomnet-prof diff <current.json> <baseline.json>\n"
+      "                       [--max-time P] [--max-alloc P] [--max-rss P]\n");
+  return 2;
+}
+
+std::int64_t parse_int(const char* text, const char* flag) {
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 0);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "roomnet-prof: bad value for %s: %s\n", flag, text);
+    std::exit(2);
+  }
+  return v;
+}
+
+double parse_fraction(const char* text, const char* flag) {
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || v < 0.0) {
+    std::fprintf(stderr, "roomnet-prof: bad value for %s: %s\n", flag, text);
+    std::exit(2);
+  }
+  return v;
+}
+
+void print_stage_table(const roomnet::prof::ProfReport& report) {
+  std::printf("%-14s %10s %10s %10s %8s %9s %12s %12s\n", "stage", "wall_ms",
+              "user_ms", "sys_ms", "faults", "peak_rss", "arena_bytes",
+              "heap_bytes");
+  const auto row = [](const roomnet::prof::StageProfile& s) {
+    std::printf("%-14s %10lld %10lld %10lld %8lld %8lldK %12llu %12llu\n",
+                s.name.c_str(), static_cast<long long>(s.wall_us / 1000),
+                static_cast<long long>(s.user_us / 1000),
+                static_cast<long long>(s.sys_us / 1000),
+                static_cast<long long>(s.minor_faults + s.major_faults),
+                static_cast<long long>(s.peak_rss_kb),
+                static_cast<unsigned long long>(s.arena_bytes),
+                static_cast<unsigned long long>(s.heap_bytes));
+  };
+  for (const auto& stage : report.stages) row(stage);
+  row(report.totals);
+  std::printf("threads=%d hardware_threads=%lld heap_hooks=%s compiler=%s\n",
+              report.threads,
+              static_cast<long long>(report.hardware_threads),
+              report.profile_heap ? "on" : "off", report.compiler.c_str());
+}
+
+int run_command(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string out_dir = argv[0];
+  roomnet::PipelineConfig config;
+  config.telemetry_out = out_dir;
+  config.seed = 42;
+  config.threads = 1;
+  config.idle_duration = roomnet::SimTime::from_minutes(10);
+  config.interactions = 20;
+  config.app_sample = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "roomnet-prof: %s needs a value\n", arg);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--seed") == 0)
+      config.seed = static_cast<std::uint64_t>(parse_int(value(), arg));
+    else if (std::strcmp(arg, "--threads") == 0)
+      config.threads = static_cast<int>(parse_int(value(), arg));
+    else if (std::strcmp(arg, "--idle-minutes") == 0)
+      config.idle_duration =
+          roomnet::SimTime::from_minutes(parse_int(value(), arg));
+    else if (std::strcmp(arg, "--interactions") == 0)
+      config.interactions = static_cast<int>(parse_int(value(), arg));
+    else if (std::strcmp(arg, "--app-sample") == 0)
+      config.app_sample = static_cast<int>(parse_int(value(), arg));
+    else if (std::strcmp(arg, "--no-scan") == 0)
+      config.run_scan = false;
+    else if (std::strcmp(arg, "--no-crowd") == 0)
+      config.run_crowd = false;
+    else
+      return usage();
+  }
+
+  roomnet::Pipeline pipeline(config);
+  const roomnet::PipelineResults results = pipeline.run();
+  print_stage_table(results.profile);
+  std::printf("wrote %s/perf.json\n", out_dir.c_str());
+  return 0;
+}
+
+int show_command(int argc, char** argv) {
+  if (argc != 1) return usage();
+  const auto report = roomnet::prof::load_report(argv[0]);
+  if (!report) {
+    std::fprintf(stderr, "roomnet-prof: cannot load %s\n", argv[0]);
+    return 2;
+  }
+  print_stage_table(*report);
+  std::printf("deterministic fingerprint:\n%s",
+              roomnet::prof::deterministic_fingerprint(*report).c_str());
+  return 0;
+}
+
+int diff_command(int argc, char** argv) {
+  if (argc < 2) return usage();
+  roomnet::prof::DiffThresholds thresholds;
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "roomnet-prof: %s needs a value\n", arg);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--max-time") == 0)
+      thresholds.max_time_regression = parse_fraction(value(), arg);
+    else if (std::strcmp(arg, "--max-alloc") == 0)
+      thresholds.max_alloc_regression = parse_fraction(value(), arg);
+    else if (std::strcmp(arg, "--max-rss") == 0)
+      thresholds.max_rss_regression = parse_fraction(value(), arg);
+    else
+      return usage();
+  }
+  const auto current = roomnet::prof::load_report(argv[0]);
+  if (!current) {
+    std::fprintf(stderr, "roomnet-prof: cannot load %s\n", argv[0]);
+    return 2;
+  }
+  const auto baseline = roomnet::prof::load_report(argv[1]);
+  if (!baseline) {
+    std::fprintf(stderr, "roomnet-prof: cannot load %s\n", argv[1]);
+    return 2;
+  }
+  const roomnet::prof::ProfDiff diff =
+      roomnet::prof::diff_reports(*current, *baseline, thresholds);
+  for (const auto& line : diff.lines) std::printf("%s\n", line.c_str());
+  std::printf("%d gates compared, %d skipped\n", diff.compared, diff.skipped);
+  if (diff.ok) {
+    std::printf("ok: no stage regressed past the thresholds\n");
+    return 0;
+  }
+  std::printf("REGRESSED at stage %s [%s]: %s\n", diff.stage.c_str(),
+              diff.metric.c_str(), diff.detail.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  if (std::strcmp(argv[1], "run") == 0)
+    return run_command(argc - 2, argv + 2);
+  if (std::strcmp(argv[1], "show") == 0)
+    return show_command(argc - 2, argv + 2);
+  if (std::strcmp(argv[1], "diff") == 0)
+    return diff_command(argc - 2, argv + 2);
+  return usage();
+}
