@@ -13,9 +13,17 @@ cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-# Provenance for the BENCH_*.json reports: which commit produced them.
-ROOMNET_GIT_SHA="$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
-if ! git diff --quiet HEAD 2>/dev/null; then
+# Provenance for the BENCH_*.json reports: which commit produced them. A
+# report stamped "unknown" is a ledger entry that can't be traced back to a
+# revision, so a failed SHA lookup aborts the run instead of shipping one.
+# `git -C` pins the lookup to the repo root regardless of invocation cwd.
+REPO_ROOT="$(pwd)"
+if ! ROOMNET_GIT_SHA="$(git -C "${REPO_ROOT}" rev-parse --short=12 HEAD)"; then
+  echo "bench.sh: cannot resolve the git SHA for ${REPO_ROOT} —" \
+       "refusing to write BENCH_*.json reports without provenance" >&2
+  exit 1
+fi
+if ! git -C "${REPO_ROOT}" diff --quiet HEAD 2>/dev/null; then
   ROOMNET_GIT_SHA="${ROOMNET_GIT_SHA}-dirty"
 fi
 export ROOMNET_GIT_SHA

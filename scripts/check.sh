@@ -42,16 +42,18 @@ if [[ "${1:-}" == "--tsan" ]]; then
   cmake --build build-tsan -j "${JOBS}"
   # The exec suites plus the pipeline tests that exercise worker threads
   # (the determinism tests run the pipeline at threads 1, 2, and 4 — the
-  # Faults* suites additionally with fault injection live), plus the
-  # zero-copy capture-path suites (FrameStore/PacketView*/CaptureStore/
-  # DecodeFrameView): their arena + shared-frame-buffer invariants are
-  # exactly what data races would corrupt. The PipelineFixture integration
-  # tests are excluded: each ctest entry re-runs the whole 40-virtual-minute
-  # study, which under TSan costs minutes apiece without adding concurrency
-  # coverage beyond the determinism tests.
+  # Faults* suites additionally with fault injection live, the Stream*
+  # suites in streaming mode where the flow cache evicts on the sim
+  # thread), plus the zero-copy capture-path suites (FrameStore/
+  # PacketView*/CaptureStore/DecodeFrameView): their arena + shared-frame-
+  # buffer invariants are exactly what data races would corrupt. The
+  # PipelineFixture integration tests are excluded: each ctest entry
+  # re-runs the whole 40-virtual-minute study, which under TSan costs
+  # minutes apiece without adding concurrency coverage beyond the
+  # determinism tests.
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-          -R '^(ExecPool|ExecParallel|PipelineDeterminism|PipelineTelemetry|Faults|FrameStore|PacketView|CaptureStore|DecodeFrameView)'
+          -R '^(ExecPool|ExecParallel|PipelineDeterminism|PipelineTelemetry|Faults|FrameStore|PacketView|CaptureStore|DecodeFrameView|Stream)'
   echo "== tsan checks passed =="
   exit 0
 fi

@@ -82,154 +82,144 @@ bool old_dhcp_client(const std::string& vendor_class) {
          vendor_class.find("RTOS") != std::string::npos;
 }
 
-/// Shared extraction loop: get(i) may return a Packet or a PacketView —
-/// every read below is a field or payload-slice access valid on both.
-template <typename GetPacket>
-ExposureMatrix analyze_exposure_impl(std::size_t n, const GetPacket& get) {
-  ExposureMatrix matrix;
+}  // namespace
+
+void ExposureBuilder::on_packet(const PacketView& packet) {
+  const MacAddress src = packet.eth.src;
   const auto mark = [&](ProtocolLabel protocol, ExposedData data,
                         MacAddress device) {
-    matrix.cells[{protocol, data}].insert(device);
+    matrix_.cells[{protocol, data}].insert(device);
   };
 
-  HybridClassifier classifier;
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto& packet = get(i);
-    const MacAddress src = packet.eth.src;
-
-    // ----- ARP: every request/reply broadcasts sender MAC/IP bindings.
-    if (packet.arp) {
-      mark(ProtocolLabel::kArp, ExposedData::kMac, src);
-      continue;
-    }
-    if (!packet.udp) continue;
-    const BytesView payload = packet.app_payload();
-    const std::uint16_t dport = value(*packet.dst_port());
-    const std::uint16_t sport = value(*packet.src_port());
-
-    // ----- DHCP
-    if (dport == kDhcpServerPort || dport == kDhcpClientPort) {
-      const auto msg = decode_dhcp(payload);
-      if (!msg || !msg->is_request) continue;
-      mark(ProtocolLabel::kDhcp, ExposedData::kMac, src);  // chaddr on wire
-      if (const auto hostname = msg->hostname()) {
-        if (looks_like_model_name(*hostname))
-          mark(ProtocolLabel::kDhcp, ExposedData::kDeviceModel, src);
-        if (hostname->find("Jane") != std::string::npos ||
-            !extract_possessive_names(*hostname).empty())
-          mark(ProtocolLabel::kDhcp, ExposedData::kDisplayName, src);
-      }
-      if (const auto vc = msg->vendor_class()) {
-        mark(ProtocolLabel::kDhcp, ExposedData::kOsVersion, src);
-        if (old_dhcp_client(*vc))
-          mark(ProtocolLabel::kDhcp, ExposedData::kOutdatedSoftware, src);
-      }
-      continue;
-    }
-
-    // ----- mDNS
-    if (dport == kMdnsPort || sport == kMdnsPort) {
-      const auto msg = decode_dns(payload);
-      if (!msg || !msg->is_response) continue;
-      std::string all_text;
-      for (const auto& record : msg->answers) {
-        all_text += record.name.to_string() + " ";
-        for (const auto& txt : record.txt()) all_text += txt + " ";
-        if (const auto ptr = record.ptr()) all_text += ptr->to_string() + " ";
-        if (const auto srv = record.srv()) all_text += srv->target.to_string() + " ";
-      }
-      for (const auto& record : msg->additional)
-        all_text += record.name.to_string() + " ";
-      if (contains_mac_like(all_text))
-        mark(ProtocolLabel::kMdns, ExposedData::kMac, src);
-      if (!extract_uuids(all_text).empty())
-        mark(ProtocolLabel::kMdns, ExposedData::kUuid, src);
-      if (!extract_possessive_names(all_text).empty() ||
-          all_text.find("Jane") != std::string::npos)
-        mark(ProtocolLabel::kMdns, ExposedData::kDisplayName, src);
-      if (looks_like_model_name(all_text))
-        mark(ProtocolLabel::kMdns, ExposedData::kDeviceModel, src);
-      continue;
-    }
-
-    // ----- SSDP (and the UPnP description it links to)
-    if (dport == kSsdpPort || sport == kSsdpPort) {
-      const auto msg = decode_ssdp(payload);
-      if (!msg) continue;
-      const std::string text = msg->usn + " " + msg->server + " " + msg->location;
-      if (!extract_uuids(text).empty())
-        mark(ProtocolLabel::kSsdp, ExposedData::kUuid, src);
-      if (!msg->server.empty()) {
-        mark(ProtocolLabel::kSsdp, ExposedData::kOsVersion, src);
-        if (msg->server.find("UPnP/1.0") != std::string::npos)
-          mark(ProtocolLabel::kSsdp, ExposedData::kOutdatedSoftware, src);
-      }
-      continue;
-    }
-
-    // ----- TuyaLP
-    if (dport == kTuyaPortPlain || dport == kTuyaPortEncrypted) {
-      const auto d = decode_tuya_discovery(payload);
-      if (!d) continue;
-      if (!d->gw_id.empty()) mark(ProtocolLabel::kTuyaLp, ExposedData::kGwId, src);
-      if (!d->product_key.empty())
-        mark(ProtocolLabel::kTuyaLp, ExposedData::kProductKey, src);
-      continue;
-    }
-
-    // ----- TPLINK-SHP
-    if (dport == kTplinkPort || sport == kTplinkPort) {
-      const auto body = decode_tplink_udp(payload);
-      if (!body) continue;
-      const auto info = TplinkSysinfo::from_json(*body);
-      if (!info) continue;
-      if (!info->mac.empty())
-        mark(ProtocolLabel::kTplinkShp, ExposedData::kMac, src);
-      if (!info->model.empty() || !info->dev_name.empty())
-        mark(ProtocolLabel::kTplinkShp, ExposedData::kDeviceModel, src);
-      if (!info->oem_id.empty())
-        mark(ProtocolLabel::kTplinkShp, ExposedData::kOemId, src);
-      if (info->latitude != 0 || info->longitude != 0)
-        mark(ProtocolLabel::kTplinkShp, ExposedData::kGeolocation, src);
-      continue;
-    }
+  // ----- ARP: every request/reply broadcasts sender MAC/IP bindings.
+  if (packet.arp) {
+    mark(ProtocolLabel::kArp, ExposedData::kMac, src);
+    return;
   }
 
-  // SSDP also exposes MAC/model via serialNumber in the description XML
-  // (fetched over HTTP — TCP flows). Scan TCP payloads for UPnP documents.
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto& packet = get(i);
-    if (!packet.tcp) continue;
+  // ----- SSDP's linked UPnP description exposes MAC/model via serialNumber
+  // in the XML (fetched over HTTP — TCP flows). Historically a second scan
+  // over the capture; TCP and the UDP extractions below are disjoint per
+  // packet, so one pass marks the same cells.
+  if (packet.tcp) {
     const std::string text = string_of(packet.app_payload());
-    if (text.find("<serialNumber>") == std::string::npos) continue;
+    if (text.find("<serialNumber>") == std::string::npos) return;
     const auto desc_start = text.find("<?xml");
     const auto desc = UpnpDeviceDescription::from_xml(
         desc_start == std::string::npos ? text : text.substr(desc_start));
-    if (!desc) continue;
+    if (!desc) return;
     if (!extract_macs(desc->serial_number).empty())
-      matrix.cells[{ProtocolLabel::kSsdp, ExposedData::kMac}].insert(
-          packet.eth.src);
+      mark(ProtocolLabel::kSsdp, ExposedData::kMac, src);
     if (!desc->model_name.empty())
-      matrix.cells[{ProtocolLabel::kSsdp, ExposedData::kDeviceModel}].insert(
-          packet.eth.src);
+      mark(ProtocolLabel::kSsdp, ExposedData::kDeviceModel, src);
+    return;
   }
-  return matrix;
-}
 
-}  // namespace
+  if (!packet.udp) return;
+  const BytesView payload = packet.app_payload();
+  const std::uint16_t dport = value(*packet.dst_port());
+  const std::uint16_t sport = value(*packet.src_port());
+
+  // ----- DHCP
+  if (dport == kDhcpServerPort || dport == kDhcpClientPort) {
+    const auto msg = decode_dhcp(payload);
+    if (!msg || !msg->is_request) return;
+    mark(ProtocolLabel::kDhcp, ExposedData::kMac, src);  // chaddr on wire
+    if (const auto hostname = msg->hostname()) {
+      if (looks_like_model_name(*hostname))
+        mark(ProtocolLabel::kDhcp, ExposedData::kDeviceModel, src);
+      if (hostname->find("Jane") != std::string::npos ||
+          !extract_possessive_names(*hostname).empty())
+        mark(ProtocolLabel::kDhcp, ExposedData::kDisplayName, src);
+    }
+    if (const auto vc = msg->vendor_class()) {
+      mark(ProtocolLabel::kDhcp, ExposedData::kOsVersion, src);
+      if (old_dhcp_client(*vc))
+        mark(ProtocolLabel::kDhcp, ExposedData::kOutdatedSoftware, src);
+    }
+    return;
+  }
+
+  // ----- mDNS
+  if (dport == kMdnsPort || sport == kMdnsPort) {
+    const auto msg = decode_dns(payload);
+    if (!msg || !msg->is_response) return;
+    std::string all_text;
+    for (const auto& record : msg->answers) {
+      all_text += record.name.to_string() + " ";
+      for (const auto& txt : record.txt()) all_text += txt + " ";
+      if (const auto ptr = record.ptr()) all_text += ptr->to_string() + " ";
+      if (const auto srv = record.srv()) all_text += srv->target.to_string() + " ";
+    }
+    for (const auto& record : msg->additional)
+      all_text += record.name.to_string() + " ";
+    if (contains_mac_like(all_text))
+      mark(ProtocolLabel::kMdns, ExposedData::kMac, src);
+    if (!extract_uuids(all_text).empty())
+      mark(ProtocolLabel::kMdns, ExposedData::kUuid, src);
+    if (!extract_possessive_names(all_text).empty() ||
+        all_text.find("Jane") != std::string::npos)
+      mark(ProtocolLabel::kMdns, ExposedData::kDisplayName, src);
+    if (looks_like_model_name(all_text))
+      mark(ProtocolLabel::kMdns, ExposedData::kDeviceModel, src);
+    return;
+  }
+
+  // ----- SSDP (and the UPnP description it links to)
+  if (dport == kSsdpPort || sport == kSsdpPort) {
+    const auto msg = decode_ssdp(payload);
+    if (!msg) return;
+    const std::string text = msg->usn + " " + msg->server + " " + msg->location;
+    if (!extract_uuids(text).empty())
+      mark(ProtocolLabel::kSsdp, ExposedData::kUuid, src);
+    if (!msg->server.empty()) {
+      mark(ProtocolLabel::kSsdp, ExposedData::kOsVersion, src);
+      if (msg->server.find("UPnP/1.0") != std::string::npos)
+        mark(ProtocolLabel::kSsdp, ExposedData::kOutdatedSoftware, src);
+    }
+    return;
+  }
+
+  // ----- TuyaLP
+  if (dport == kTuyaPortPlain || dport == kTuyaPortEncrypted) {
+    const auto d = decode_tuya_discovery(payload);
+    if (!d) return;
+    if (!d->gw_id.empty()) mark(ProtocolLabel::kTuyaLp, ExposedData::kGwId, src);
+    if (!d->product_key.empty())
+      mark(ProtocolLabel::kTuyaLp, ExposedData::kProductKey, src);
+    return;
+  }
+
+  // ----- TPLINK-SHP
+  if (dport == kTplinkPort || sport == kTplinkPort) {
+    const auto body = decode_tplink_udp(payload);
+    if (!body) return;
+    const auto info = TplinkSysinfo::from_json(*body);
+    if (!info) return;
+    if (!info->mac.empty())
+      mark(ProtocolLabel::kTplinkShp, ExposedData::kMac, src);
+    if (!info->model.empty() || !info->dev_name.empty())
+      mark(ProtocolLabel::kTplinkShp, ExposedData::kDeviceModel, src);
+    if (!info->oem_id.empty())
+      mark(ProtocolLabel::kTplinkShp, ExposedData::kOemId, src);
+    if (info->latitude != 0 || info->longitude != 0)
+      mark(ProtocolLabel::kTplinkShp, ExposedData::kGeolocation, src);
+    return;
+  }
+}
 
 ExposureMatrix analyze_exposure(
     const std::vector<std::pair<SimTime, Packet>>& capture) {
-  return analyze_exposure_impl(
-      capture.size(),
-      [&](std::size_t i) -> const Packet& { return capture[i].second; });
+  ExposureBuilder builder;
+  for (const auto& [at, packet] : capture) builder.on_packet(as_view(packet));
+  return builder.finish();
 }
 
 ExposureMatrix analyze_exposure(const CaptureStore& capture) {
-  return analyze_exposure_impl(capture.size(),
-                               [&](std::size_t i) -> PacketView {
-                                 return capture.packet(i);
-                               });
+  ExposureBuilder builder;
+  for (std::size_t i = 0; i < capture.size(); ++i)
+    builder.on_packet(capture.packet(i));
+  return builder.finish();
 }
 
 }  // namespace roomnet

@@ -46,6 +46,20 @@ struct ExposureMatrix {
   }
 };
 
+/// Incremental fold behind analyze_exposure(): each packet marks
+/// (protocol, data type, device) cells in a map of sets, so the matrix is
+/// independent of packet order and the streaming fold equals the batch scan
+/// by construction. The UDP-discovery and TCP-serialNumber extractions are
+/// disjoint per packet; the builder applies both in one pass.
+class ExposureBuilder {
+ public:
+  void on_packet(const PacketView& packet);
+  [[nodiscard]] ExposureMatrix finish() { return std::move(matrix_); }
+
+ private:
+  ExposureMatrix matrix_;
+};
+
 /// Walks a decoded capture and fills the matrix. Detection is payload-based:
 /// nothing is taken from simulator ground truth.
 ExposureMatrix analyze_exposure(

@@ -20,36 +20,21 @@ std::set<ProtocolLabel> ProtocolUsage::all_labels() const {
   return out;
 }
 
-namespace {
-
-/// Shared over owning Packets and arena-backed PacketViews; get(i) may
-/// return either (classify_packet resolves the overload).
-template <typename GetPacket>
-ProtocolUsage protocol_usage_impl(std::size_t n, const GetPacket& get) {
-  HybridClassifier classifier;
-  ProtocolUsage usage;
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto& packet = get(i);
-    const ProtocolLabel label = classifier.classify_packet(packet);
-    usage.by_device[packet.eth.src].insert(label);
-  }
-  return usage;
-}
-
-}  // namespace
-
+// Both batch entry points are loops over the incremental builder, so the
+// batch and streaming tabulations cannot drift apart (classify_packet on a
+// Packet and on its as_view() mirror agree field-for-field by construction).
 ProtocolUsage protocol_usage(
     const std::vector<std::pair<SimTime, Packet>>& capture) {
-  return protocol_usage_impl(
-      capture.size(),
-      [&](std::size_t i) -> const Packet& { return capture[i].second; });
+  ProtocolUsageBuilder builder;
+  for (const auto& [at, packet] : capture) builder.on_packet(as_view(packet));
+  return builder.finish();
 }
 
 ProtocolUsage protocol_usage(const CaptureStore& capture) {
-  return protocol_usage_impl(capture.size(),
-                             [&](std::size_t i) -> PacketView {
-                               return capture.packet(i);
-                             });
+  ProtocolUsageBuilder builder;
+  for (std::size_t i = 0; i < capture.size(); ++i)
+    builder.on_packet(capture.packet(i));
+  return builder.finish();
 }
 
 std::set<MacAddress> CommGraph::connected_nodes() const {
@@ -69,57 +54,49 @@ const CommGraph::Edge* CommGraph::find(MacAddress a, MacAddress b) const {
   return nullptr;
 }
 
-namespace {
-
-template <typename GetPacket>
-CommGraph build_comm_graph_impl(std::size_t n, const GetPacket& get,
-                                const std::set<MacAddress>& population) {
-  HybridClassifier classifier;
-  std::map<std::pair<MacAddress, MacAddress>, CommGraph::Edge> edges;
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto& packet = get(i);
-    if (packet.eth.dst.is_multicast()) continue;  // Figure 1 excludes these
-    if (!packet.has_transport()) continue;
-    if (population.count(packet.eth.src) == 0 ||
-        population.count(packet.eth.dst) == 0)
-      continue;
-    // Figure 1 shows "neither multicast- and broadcast-discovery protocols"
-    // — unicast discovery responses are part of those exchanges and are
-    // excluded too.
-    if (is_discovery_protocol(classifier.classify_packet(packet))) continue;
-    MacAddress a = packet.eth.src;
-    MacAddress b = packet.eth.dst;
-    if (b < a) std::swap(a, b);
-    auto& edge = edges[{a, b}];
-    edge.a = a;
-    edge.b = b;
-    edge.tcp = edge.tcp || packet.tcp.has_value();
-    edge.udp = edge.udp || packet.udp.has_value();
-    ++edge.packets;
-  }
-  CommGraph graph;
-  graph.edges.reserve(edges.size());
-  for (auto& [key, edge] : edges) graph.edges.push_back(edge);
-  return graph;
+void CommGraphBuilder::on_packet(const PacketView& packet) {
+  if (packet.eth.dst.is_multicast()) return;  // Figure 1 excludes these
+  if (!packet.has_transport()) return;
+  if (population_.count(packet.eth.src) == 0 ||
+      population_.count(packet.eth.dst) == 0)
+    return;
+  // Figure 1 shows "neither multicast- and broadcast-discovery protocols"
+  // — unicast discovery responses are part of those exchanges and are
+  // excluded too.
+  if (is_discovery_protocol(classifier_.classify_packet(packet))) return;
+  MacAddress a = packet.eth.src;
+  MacAddress b = packet.eth.dst;
+  if (b < a) std::swap(a, b);
+  auto& edge = edges_[{a, b}];
+  edge.a = a;
+  edge.b = b;
+  edge.tcp = edge.tcp || packet.tcp.has_value();
+  edge.udp = edge.udp || packet.udp.has_value();
+  ++edge.packets;
 }
 
-}  // namespace
+CommGraph CommGraphBuilder::finish() {
+  CommGraph graph;
+  graph.edges.reserve(edges_.size());
+  for (auto& [key, edge] : edges_) graph.edges.push_back(edge);
+  edges_.clear();
+  return graph;
+}
 
 CommGraph build_comm_graph(
     const std::vector<std::pair<SimTime, Packet>>& capture,
     const std::set<MacAddress>& population) {
-  return build_comm_graph_impl(
-      capture.size(),
-      [&](std::size_t i) -> const Packet& { return capture[i].second; },
-      population);
+  CommGraphBuilder builder(population);
+  for (const auto& [at, packet] : capture) builder.on_packet(as_view(packet));
+  return builder.finish();
 }
 
 CommGraph build_comm_graph(const CaptureStore& capture,
                            const std::set<MacAddress>& population) {
-  return build_comm_graph_impl(
-      capture.size(),
-      [&](std::size_t i) -> PacketView { return capture.packet(i); },
-      population);
+  CommGraphBuilder builder(population);
+  for (std::size_t i = 0; i < capture.size(); ++i)
+    builder.on_packet(capture.packet(i));
+  return builder.finish();
 }
 
 }  // namespace roomnet

@@ -25,6 +25,24 @@ struct ProtocolUsage {
   [[nodiscard]] std::set<ProtocolLabel> all_labels() const;
 };
 
+/// Incremental fold behind protocol_usage(): feed packets as they occur
+/// (streaming mode) or from a finished capture (the batch functions below
+/// are thin loops over this), then take the result with finish(). The fold
+/// is one order-independent set insertion per packet, so streaming and batch
+/// tabulations are identical by construction.
+class ProtocolUsageBuilder {
+ public:
+  void on_packet(const PacketView& packet) {
+    usage_.by_device[packet.eth.src].insert(
+        classifier_.classify_packet(packet));
+  }
+  [[nodiscard]] ProtocolUsage finish() { return std::move(usage_); }
+
+ private:
+  HybridClassifier classifier_;
+  ProtocolUsage usage_;
+};
+
 ProtocolUsage protocol_usage(
     const std::vector<std::pair<SimTime, Packet>>& capture);
 /// Zero-copy variant: classifies the arena-backed views directly.
@@ -44,6 +62,23 @@ struct CommGraph {
 
   [[nodiscard]] std::set<MacAddress> connected_nodes() const;
   [[nodiscard]] const Edge* find(MacAddress a, MacAddress b) const;
+};
+
+/// Incremental fold behind build_comm_graph(): per-packet edge accumulation
+/// into a map keyed by the (sorted) MAC pair, flattened in key order by
+/// finish() — packet arrival order never shows in the output, so the
+/// streaming and batch graphs are identical by construction.
+class CommGraphBuilder {
+ public:
+  explicit CommGraphBuilder(std::set<MacAddress> population)
+      : population_(std::move(population)) {}
+  void on_packet(const PacketView& packet);
+  [[nodiscard]] CommGraph finish();
+
+ private:
+  std::set<MacAddress> population_;
+  HybridClassifier classifier_;
+  std::map<std::pair<MacAddress, MacAddress>, CommGraph::Edge> edges_;
 };
 
 CommGraph build_comm_graph(

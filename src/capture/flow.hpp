@@ -79,6 +79,17 @@ struct Flow {
 
 class FlowTable {
  public:
+  /// A lab-scale run sees hundreds of flows, not tens; pre-sizing the index
+  /// past that keeps the hot add() path rehash-free, and the lowered load
+  /// factor keeps probe chains short once it does grow.
+  static constexpr std::size_t kInitialFlowCapacity = 1024;
+
+  FlowTable() {
+    index_.max_load_factor(0.5f);
+    index_.reserve(kInitialFlowCapacity);
+    flows_.reserve(kInitialFlowCapacity);
+  }
+
   /// Ingests one decoded packet; ignores non-TCP/UDP. The recorded payload
   /// is a view: the bytes behind `packet` must outlive this table.
   void add(SimTime at, const PacketView& packet);

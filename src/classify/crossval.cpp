@@ -69,6 +69,14 @@ CrossValidation cross_validate_impl(const std::vector<Flow>& flows,
 
 }  // namespace
 
+void CrossValidator::on_packet(const PacketView& packet) {
+  record(cv_, spec_.classify_packet(packet), deep_.classify_packet(packet));
+}
+
+void CrossValidator::on_flow(const Flow& flow) {
+  record(cv_, spec_.classify_flow(flow), deep_.classify_flow(flow));
+}
+
 bool is_concrete_label(ProtocolLabel label) {
   switch (label) {
     case ProtocolLabel::kUnknown:

@@ -42,6 +42,22 @@ struct CrossValidation {
 /// True when a label names a concrete protocol (vs generic/unknown bins).
 bool is_concrete_label(ProtocolLabel label);
 
+/// Incremental fold behind cross_validate(): feed packets as they occur and
+/// flows as they complete, in any interleaving. Every CrossValidation field
+/// is an additive count (keyed at most by label pair), so the streaming
+/// tabulation equals the batch flows-then-packets order by construction.
+class CrossValidator {
+ public:
+  void on_packet(const PacketView& packet);
+  void on_flow(const Flow& flow);
+  [[nodiscard]] CrossValidation finish() { return std::move(cv_); }
+
+ private:
+  SpecClassifier spec_;
+  DeepClassifier deep_;
+  CrossValidation cv_;
+};
+
 /// Cross-validates over flows plus the packet-level L2/L3 traffic in the
 /// arena-backed capture. The per-packet pass classifies the stored views
 /// directly — no Packet is materialized.

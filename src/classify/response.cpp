@@ -20,74 +20,58 @@ bool counts_for_table4(ProtocolLabel label) {
 }
 }  // namespace
 
-namespace {
+void ResponseCorrelator::on_packet(SimTime at, const PacketView& packet) {
+  // Expire old discoveries.
+  while (!recent_.empty() && at - recent_.front().at > window_)
+    recent_.pop_front();
 
-/// Shared correlation loop: get(i) may return a Packet or a PacketView.
-template <typename GetTime, typename GetPacket>
-ResponseStats correlate_responses_impl(std::size_t n, const GetTime& get_time,
-                                       const GetPacket& get, SimTime window) {
-  HybridClassifier classifier;
-  ResponseStats stats;
-  std::deque<DiscoveryEvent> recent;
+  const ProtocolLabel label = classifier_.classify_packet(packet);
+  const bool is_multicast_out = packet.eth.dst.is_multicast();
 
-  for (std::size_t i = 0; i < n; ++i) {
-    const SimTime at = get_time(i);
-    const auto& packet = get(i);
-    // Expire old discoveries.
-    while (!recent.empty() && at - recent.front().at > window)
-      recent.pop_front();
-
-    const ProtocolLabel label = classifier.classify_packet(packet);
-    const bool is_multicast_out = packet.eth.dst.is_multicast();
-
-    if (is_multicast_out && counts_for_table4(label) && packet.has_transport()) {
-      DiscoveryEvent ev;
-      ev.at = at;
-      ev.discoverer = packet.eth.src;
-      ev.protocol = label;
-      ev.port = value(*packet.src_port());
-      stats.discovery_protocols[ev.discoverer].insert(label);
-      recent.push_back(ev);
-      continue;
-    }
-    // Track discovery protocol *usage* even when broadcast-only (e.g.
-    // TPLINK over subnet broadcast arrives as eth broadcast => multicast bit
-    // set, handled above). Unicast discovery queries still count as usage.
-    if (counts_for_table4(label) && packet.has_transport() &&
-        !packet.eth.dst.is_multicast()) {
-      // Candidate response: unicast, same transport/port, within window.
-      for (const auto& ev : recent) {
-        if (ev.discoverer != packet.eth.dst) continue;
-        if (packet.eth.src == ev.discoverer) continue;
-        const std::uint16_t dst_port = value(*packet.dst_port());
-        if (dst_port != ev.port && value(*packet.src_port()) != ev.port)
-          continue;
-        stats.answered_protocols[ev.discoverer].insert(ev.protocol);
-        stats.responders[ev.discoverer].insert(packet.eth.src);
-        stats.matches.push_back({ev, packet.eth.src, at});
-        break;
-      }
+  if (is_multicast_out && counts_for_table4(label) && packet.has_transport()) {
+    DiscoveryEvent ev;
+    ev.at = at;
+    ev.discoverer = packet.eth.src;
+    ev.protocol = label;
+    ev.port = value(*packet.src_port());
+    stats_.discovery_protocols[ev.discoverer].insert(label);
+    recent_.push_back(ev);
+    return;
+  }
+  // Track discovery protocol *usage* even when broadcast-only (e.g.
+  // TPLINK over subnet broadcast arrives as eth broadcast => multicast bit
+  // set, handled above). Unicast discovery queries still count as usage.
+  if (counts_for_table4(label) && packet.has_transport() &&
+      !packet.eth.dst.is_multicast()) {
+    // Candidate response: unicast, same transport/port, within window.
+    for (const auto& ev : recent_) {
+      if (ev.discoverer != packet.eth.dst) continue;
+      if (packet.eth.src == ev.discoverer) continue;
+      const std::uint16_t dst_port = value(*packet.dst_port());
+      if (dst_port != ev.port && value(*packet.src_port()) != ev.port)
+        continue;
+      stats_.answered_protocols[ev.discoverer].insert(ev.protocol);
+      stats_.responders[ev.discoverer].insert(packet.eth.src);
+      stats_.matches.push_back({ev, packet.eth.src, at});
+      break;
     }
   }
-  return stats;
 }
-
-}  // namespace
 
 ResponseStats correlate_responses(
     const std::vector<std::pair<SimTime, Packet>>& capture, SimTime window) {
-  return correlate_responses_impl(
-      capture.size(), [&](std::size_t i) { return capture[i].first; },
-      [&](std::size_t i) -> const Packet& { return capture[i].second; },
-      window);
+  ResponseCorrelator correlator(window);
+  for (const auto& [at, packet] : capture)
+    correlator.on_packet(at, as_view(packet));
+  return correlator.finish();
 }
 
 ResponseStats correlate_responses(const CaptureStore& capture,
                                   SimTime window) {
-  return correlate_responses_impl(
-      capture.size(), [&](std::size_t i) { return capture.timestamp(i); },
-      [&](std::size_t i) -> PacketView { return capture.packet(i); },
-      window);
+  ResponseCorrelator correlator(window);
+  for (std::size_t i = 0; i < capture.size(); ++i)
+    correlator.on_packet(capture.timestamp(i), capture.packet(i));
+  return correlator.finish();
 }
 
 }  // namespace roomnet

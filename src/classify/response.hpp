@@ -4,6 +4,7 @@
 // window (3 seconds in the paper and here).
 #pragma once
 
+#include <deque>
 #include <map>
 #include <set>
 #include <vector>
@@ -38,6 +39,24 @@ struct ResponseStats {
   /// Distinct devices that responded to each discoverer.
   std::map<MacAddress, std::set<MacAddress>> responders;
   std::vector<ResponseMatch> matches;
+};
+
+/// Incremental fold behind correlate_responses(): the batch correlation is
+/// already a single time-ordered sweep with a sliding discovery window, so
+/// feeding packets as they occur reproduces it exactly — including the order
+/// of the `matches` vector, which follows packet arrival order.
+class ResponseCorrelator {
+ public:
+  explicit ResponseCorrelator(SimTime window = SimTime::from_seconds(3))
+      : window_(window) {}
+  void on_packet(SimTime at, const PacketView& packet);
+  [[nodiscard]] ResponseStats finish() { return std::move(stats_); }
+
+ private:
+  SimTime window_;
+  HybridClassifier classifier_;
+  ResponseStats stats_;
+  std::deque<DiscoveryEvent> recent_;
 };
 
 /// Correlates a time-ordered decoded capture.

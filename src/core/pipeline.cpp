@@ -145,7 +145,8 @@ PipelineResults Pipeline::run() {
               kv("fault_seed", resolved_fault_seed),
               kv("config_digest", config_digest),
               kv("threads", static_cast<std::uint64_t>(pool.threads())),
-              kv("faults_enabled", fault_plan_->enabled()));
+              kv("faults_enabled", fault_plan_->enabled()),
+              kv("mode", to_string(config_.mode)));
 
   PipelineResults results;
   for (const auto& device : lab_->devices())
@@ -177,17 +178,29 @@ PipelineResults Pipeline::run() {
     churn_->attach(lab_->loop(), std::move(hosts));
   }
 
-  // Zero-copy capture path: every local frame is appended exactly once into
-  // the store's arena; the stored PacketView (rebased onto the arena copy)
-  // is what the flow table and all five stage-3 analyses read. No Packet is
-  // materialized and no payload byte is copied after ingress. The capture
-  // hasher folds every local frame (timestamp + raw bytes) into a running
-  // SHA-256; snapshots at stage boundaries become the sim stages' manifest
-  // hashes, pinning a determinism break to the first window whose traffic
-  // moved.
+  // Capture path, two shapes behind one tap:
+  //
+  // Batch (historical): every local frame is appended exactly once into the
+  // store's arena; the stored PacketView (rebased onto the arena copy) is
+  // what the flow table and all five stage-3 analyses read. No Packet is
+  // materialized and no payload byte is copied after ingress. Memory is
+  // O(all packets).
+  //
+  // Streaming: no CaptureStore, no FlowTable — each packet folds straight
+  // into the stage-3 analysis builders behind the StreamAnalyzer's flow
+  // cache, on the sim thread in event order. Memory is O(active flows).
+  //
+  // Either way the capture hasher folds every local frame (timestamp + raw
+  // bytes) into a running SHA-256; snapshots at stage boundaries become the
+  // sim stages' manifest hashes, pinning a determinism break to the first
+  // window whose traffic moved — and proving the two modes saw the same
+  // wire.
+  const bool streaming = config_.mode == PipelineMode::kStreaming;
   CaptureStore store;
   const LocalFilter filter;
   FlowTable flow_table;
+  std::optional<stream::StreamAnalyzer> analyzer;
+  if (streaming) analyzer.emplace(config_.stream, results.population);
   obs::CanonicalHasher capture_hash;
   lab_->network().add_packet_tap(
       [&](SimTime at, const PacketView& packet, BytesView raw) {
@@ -195,6 +208,10 @@ PipelineResults Pipeline::run() {
         ++results.local_packets;
         capture_hash.i64(at.us());
         capture_hash.bytes(raw);
+        if (streaming) {
+          analyzer->on_packet(at, packet);
+          return;
+        }
         const PacketView stored = store.append(at, packet, raw);
         flow_table.add(at, stored);
       });
@@ -222,6 +239,27 @@ PipelineResults Pipeline::run() {
   {
     StageTimer stage("classify", lab_->loop());
     guarded("classify", [&] {
+      if (streaming) {
+        // The folds already ran at tap time; finish() flushes the cache
+        // (remaining flows complete in creation order — the batch flow
+        // order) and hands over the accumulated results.
+        stream::StreamResults sr = analyzer->finish();
+        results.usage = std::move(sr.usage);
+        results.graph = std::move(sr.graph);
+        results.exposure = std::move(sr.exposure);
+        results.crossval = std::move(sr.crossval);
+        results.responses = std::move(sr.responses);
+        results.flows = sr.flows;
+        results.flow_cache = sr.cache;
+        ROOMNET_LOG(kInfo, "pipeline", "flow_cache",
+                    kv("flows_created", sr.cache.flows_created),
+                    kv("peak_flows",
+                       static_cast<std::uint64_t>(sr.cache.peak_flows)),
+                    kv("peak_bytes",
+                       static_cast<std::uint64_t>(sr.cache.peak_bytes)),
+                    kv("prunes", sr.cache.prunes_total()));
+        return;
+      }
       // The five analyses are independent pure functions over the (now
       // read-only) capture, each filling its own results field — they run as
       // concurrent tasks, and cross_validate additionally shards its

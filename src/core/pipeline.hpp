@@ -19,9 +19,26 @@
 #include "obs/manifest.hpp"
 #include "prof/report.hpp"
 #include "scan/vuln.hpp"
+#include "stream/stream.hpp"
 #include "testbed/lab.hpp"
 
 namespace roomnet {
+
+/// How stage 3 consumes the capture.
+/// - kBatch: materialize every local packet into CaptureStore/FlowTable,
+///   then run the five passive analyses over the finished capture. Memory is
+///   O(all packets).
+/// - kStreaming: fold each packet into the analysis builders at tap time
+///   behind a stream::StreamAnalyzer flow cache. Memory is O(active flows).
+///   With the default (non-evicting) StreamConfig, results — including the
+///   manifest stage hashes — are byte-identical to batch mode at any thread
+///   count; arming a memcap/timeout bounds memory at the cost of that
+///   equivalence (DESIGN.md §12).
+enum class PipelineMode { kBatch, kStreaming };
+
+[[nodiscard]] constexpr const char* to_string(PipelineMode mode) {
+  return mode == PipelineMode::kStreaming ? "streaming" : "batch";
+}
 
 struct PipelineConfig {
   std::uint64_t seed = 42;
@@ -54,6 +71,11 @@ struct PipelineConfig {
   /// The fault RNG is seeded from `seed` (override: ROOMNET_FAULT_SEED),
   /// so faulty runs too are byte-identical at every thread count.
   faults::FaultConfig faults;
+  /// Stage-3 consumption mode (see PipelineMode).
+  PipelineMode mode = PipelineMode::kBatch;
+  /// Flow-cache bounds for streaming mode (ignored in batch mode). The
+  /// default never evicts, preserving batch equivalence.
+  stream::StreamConfig stream;
 };
 
 struct PipelineResults {
@@ -75,6 +97,10 @@ struct PipelineResults {
   FingerprintAnalysis fingerprints;
   /// The 93 testbed MACs (percentage denominators).
   std::set<MacAddress> population;
+  /// Flow-cache accounting from streaming runs (all-zero in batch mode):
+  /// creation/prune counters by reason, occupancy and byte peaks. Not part
+  /// of any stage hash — it describes the machinery, not the analysis.
+  FlowCacheStats flow_cache;
   /// Graceful-degradation ledger (empty unless faults are enabled): inputs
   /// a stage lost to injected faults, recorded instead of failing the run.
   std::vector<faults::DegradedResult> degraded;

@@ -55,6 +55,18 @@ std::string pipeline_config_digest(const PipelineConfig& config) {
   h.f64(f.churn);
   h.f64(f.churn_period_s);
   h.f64(f.churn_downtime_s);
+  // Like `threads`, the pipeline mode alone must not change results — a
+  // batch run and a default (non-evicting) streaming run share a digest so
+  // the manifest comparison enforces their equivalence. Armed eviction knobs
+  // CAN change results (flows split, payload-less records classify
+  // generically), so only then do mode + bounds fold into the digest.
+  if (config.mode == PipelineMode::kStreaming && config.stream.evicting()) {
+    h.str("streaming-evicting");
+    h.u64(config.stream.max_flows);
+    h.u64(config.stream.memcap_bytes);
+    h.i64(config.stream.idle_timeout.us());
+    h.i64(config.stream.established_timeout.us());
+  }
   return h.hex();
 }
 

@@ -1,0 +1,45 @@
+#include "stream/stream.hpp"
+
+#include <utility>
+
+namespace roomnet::stream {
+
+StreamAnalyzer::StreamAnalyzer(const StreamConfig& config,
+                               std::set<MacAddress> population)
+    : graph_(std::move(population)),
+      cache_(config.cache_config(),
+             [this](const FlowRecord& record, PruneReason reason) {
+               on_flow(record, reason);
+             }) {}
+
+void StreamAnalyzer::on_packet(SimTime at, const PacketView& packet) {
+  ++packets_;
+  usage_.on_packet(packet);
+  graph_.on_packet(packet);
+  exposure_.on_packet(packet);
+  crossval_.on_packet(packet);
+  responses_.on_packet(at, packet);
+  cache_.add(at, packet);
+}
+
+void StreamAnalyzer::on_flow(const FlowRecord& record, PruneReason /*reason*/) {
+  ++flows_completed_;
+  // The synthetic flow's payload views alias `record`, which outlives this
+  // call — classify immediately, keep nothing.
+  crossval_.on_flow(record.to_flow());
+}
+
+StreamResults StreamAnalyzer::finish() {
+  cache_.flush();
+  StreamResults results;
+  results.usage = usage_.finish();
+  results.graph = graph_.finish();
+  results.exposure = exposure_.finish();
+  results.crossval = crossval_.finish();
+  results.responses = responses_.finish();
+  results.flows = flows_completed_;
+  results.cache = cache_.stats();
+  return results;
+}
+
+}  // namespace roomnet::stream

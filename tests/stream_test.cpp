@@ -1,0 +1,506 @@
+// Streaming-pipeline tests: FlowCache eviction mechanics (memcap / LRU /
+// timeouts, prune-reason accounting), streaming-vs-batch byte-identical
+// parity at several thread counts on clean and faulty runs, and the
+// bounded-memory regression guard (streaming peak state stays flat while
+// batch capture memory grows with simulation length).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "capture/flow.hpp"
+#include "capture/flow_cache.hpp"
+#include "core/pipeline.hpp"
+#include "core/provenance.hpp"
+#include "netcore/packet_view.hpp"
+#include "obs/manifest.hpp"
+#include "stream/stream.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace roomnet {
+namespace {
+
+MacAddress mac_n(std::uint64_t n) {
+  return MacAddress::from_u64(0x02a000000000ull | n);
+}
+
+Packet udp_packet(Ipv4Address src, std::uint16_t sport, Ipv4Address dst,
+                  std::uint16_t dport, std::string_view payload,
+                  MacAddress src_mac = mac_n(1),
+                  MacAddress dst_mac = mac_n(2)) {
+  Packet p;
+  p.eth.src = src_mac;
+  p.eth.dst = dst_mac;
+  p.eth.payload = Bytes(64);
+  Ipv4Packet ip;
+  ip.src = src;
+  ip.dst = dst;
+  ip.protocol = 17;
+  p.ipv4 = ip;
+  UdpDatagram u;
+  u.src_port = port(sport);
+  u.dst_port = port(dport);
+  u.payload = bytes_of(payload);
+  p.udp = u;
+  return p;
+}
+
+Packet tcp_packet(Ipv4Address src, std::uint16_t sport, Ipv4Address dst,
+                  std::uint16_t dport, std::string_view payload,
+                  TcpFlags flags = {}) {
+  Packet p;
+  p.eth.src = mac_n(1);
+  p.eth.dst = mac_n(2);
+  p.eth.payload = Bytes(64);
+  Ipv4Packet ip;
+  ip.src = src;
+  ip.dst = dst;
+  ip.protocol = 6;
+  p.ipv4 = ip;
+  TcpSegment t;
+  t.src_port = port(sport);
+  t.dst_port = port(dport);
+  t.flags = flags;
+  t.payload = bytes_of(payload);
+  p.tcp = t;
+  return p;
+}
+
+/// Collects every emitted record (deep copy — the reference dies with the
+/// sink call).
+struct RecordLog {
+  std::vector<FlowRecord> records;
+  std::vector<PruneReason> reasons;
+  FlowCache::Sink sink() {
+    return [this](const FlowRecord& rec, PruneReason reason) {
+      records.push_back(rec);
+      reasons.push_back(reason);
+    };
+  }
+};
+
+// ------------------------------------------------------------ StreamFlowCache
+
+TEST(StreamFlowCache, CondensesBidirectionalFlowAndFlushes) {
+  const Ipv4Address a(192, 168, 10, 5), b(192, 168, 10, 6);
+  RecordLog log;
+  FlowCache cache({}, log.sink());
+
+  const Packet req = udp_packet(a, 5000, b, 80, "req");
+  const Packet res = udp_packet(b, 80, a, 5000, "resp");
+  const Packet req2 = udp_packet(a, 5000, b, 80, "req2");
+  cache.add(SimTime::from_ms(0), as_view(req));
+  cache.add(SimTime::from_ms(10), as_view(res));
+  cache.add(SimTime::from_ms(20), as_view(req2));
+  EXPECT_EQ(cache.stats().flows_created, 1u);
+  EXPECT_EQ(cache.stats().active_flows, 1u);
+  EXPECT_EQ(cache.stats().packets, 3u);
+  EXPECT_TRUE(log.records.empty());  // nothing evicts without a knob armed
+
+  cache.flush();
+  ASSERT_EQ(log.records.size(), 1u);
+  EXPECT_EQ(log.reasons[0], PruneReason::kFlush);
+  const FlowRecord& rec = log.records[0];
+  EXPECT_EQ(rec.key.client_ip, a);
+  EXPECT_EQ(rec.key.server_port, port(80));
+  EXPECT_EQ(rec.packets, 3u);
+  EXPECT_EQ(rec.client_packets, 2u);
+  EXPECT_EQ(rec.server_packets, 1u);
+  EXPECT_EQ(rec.bytes, 3 * (64u + 14u));  // matches Flow::byte_count
+  EXPECT_EQ(rec.first_seen, SimTime::from_ms(0));
+  EXPECT_EQ(rec.last_seen, SimTime::from_ms(20));
+  // First non-empty payload per direction, copied out of the packet.
+  EXPECT_EQ(string_of(BytesView{rec.client_payload}), "req");
+  EXPECT_EQ(string_of(BytesView{rec.server_payload}), "resp");
+  EXPECT_EQ(cache.stats().active_flows, 0u);
+
+  cache.flush();  // idempotent
+  EXPECT_EQ(log.records.size(), 1u);
+}
+
+TEST(StreamFlowCache, ToFlowMatchesBatchFlowOnClassifierInputs) {
+  const Ipv4Address a(192, 168, 10, 5), b(192, 168, 10, 6);
+  const Packet req = udp_packet(a, 5000, b, 80, "question");
+  const Packet res = udp_packet(b, 80, a, 5000, "answer");
+
+  FlowTable table;
+  table.add(SimTime::from_ms(0), req);
+  table.add(SimTime::from_ms(5), res);
+  const Flow& batch = table.flows()[0];
+
+  RecordLog log;
+  FlowCache cache({}, log.sink());
+  cache.add(SimTime::from_ms(0), as_view(req));
+  cache.add(SimTime::from_ms(5), as_view(res));
+  cache.flush();
+  ASSERT_EQ(log.records.size(), 1u);
+  const Flow synth = log.records[0].to_flow();
+
+  // Everything classify_flow reads must agree with the materialized flow.
+  EXPECT_EQ(synth.key, batch.key);
+  EXPECT_FALSE(synth.packets.empty());
+  EXPECT_EQ(string_of(synth.first_client_payload()),
+            string_of(batch.first_client_payload()));
+  EXPECT_EQ(string_of(synth.first_server_payload()),
+            string_of(batch.first_server_payload()));
+}
+
+TEST(StreamFlowCache, TracksTcpFlagsAndPerProtoCounters) {
+  const Ipv4Address a(192, 168, 10, 5), b(192, 168, 10, 6);
+  RecordLog log;
+  FlowCache cache({}, log.sink());
+
+  TcpFlags syn;
+  syn.syn = true;
+  TcpFlags finack;
+  finack.fin = true;
+  finack.ack = true;
+  const Packet open = tcp_packet(a, 40000, b, 443, "", syn);
+  const Packet close = tcp_packet(a, 40000, b, 443, "", finack);
+  const Packet dgram = udp_packet(a, 5000, b, 53, "q");
+  cache.add(SimTime::from_ms(0), as_view(open));
+  cache.add(SimTime::from_ms(1), as_view(close));
+  cache.add(SimTime::from_ms(2), as_view(dgram));
+  EXPECT_EQ(cache.stats().tcp_flows, 1u);
+  EXPECT_EQ(cache.stats().udp_flows, 1u);
+
+  cache.flush();
+  ASSERT_EQ(log.records.size(), 2u);
+  const FlowRecord& tcp_rec = log.records[0];  // creation order
+  EXPECT_TRUE(tcp_rec.tcp_flags_seen.syn);
+  EXPECT_TRUE(tcp_rec.tcp_flags_seen.fin);
+  EXPECT_TRUE(tcp_rec.tcp_flags_seen.ack);
+  EXPECT_FALSE(tcp_rec.tcp_flags_seen.rst);
+}
+
+TEST(StreamFlowCache, MaxFlowsEvictsLeastRecentlyUsed) {
+  const Ipv4Address a(192, 168, 10, 5), b(192, 168, 10, 6);
+  RecordLog log;
+  FlowCacheConfig config;
+  config.max_flows = 2;
+  FlowCache cache(config, log.sink());
+
+  const Packet f1 = udp_packet(a, 5001, b, 80, "one");
+  const Packet f2 = udp_packet(a, 5002, b, 80, "two");
+  const Packet f1b = udp_packet(a, 5001, b, 80, "one-again");
+  const Packet f3 = udp_packet(a, 5003, b, 80, "three");
+  cache.add(SimTime::from_ms(0), as_view(f1));
+  cache.add(SimTime::from_ms(1), as_view(f2));
+  cache.add(SimTime::from_ms(2), as_view(f1b));  // touch: f2 is now LRU
+  cache.add(SimTime::from_ms(3), as_view(f3));   // over max_flows: evict f2
+  ASSERT_EQ(log.records.size(), 1u);
+  EXPECT_EQ(log.reasons[0], PruneReason::kExcess);
+  EXPECT_EQ(log.records[0].key.client_port, port(5002));
+  EXPECT_EQ(cache.stats().active_flows, 2u);
+  EXPECT_EQ(cache.stats().prunes[static_cast<std::size_t>(
+                PruneReason::kExcess)],
+            1u);
+}
+
+TEST(StreamFlowCache, MemcapEvictsUntilUnderBudget) {
+  const Ipv4Address a(192, 168, 10, 5), b(192, 168, 10, 6);
+  RecordLog log;
+  FlowCacheConfig config;
+  // Room for roughly two flows carrying 200-byte payloads (256 base + 200).
+  config.memcap_bytes = 1000;
+  FlowCache cache(config, log.sink());
+
+  const std::string big(200, 'x');
+  for (std::uint16_t i = 0; i < 6; ++i) {
+    const Packet p =
+        udp_packet(a, static_cast<std::uint16_t>(6000 + i), b, 80, big);
+    cache.add(SimTime::from_ms(i), as_view(p));
+    EXPECT_LE(cache.stats().bytes_used, config.memcap_bytes);
+  }
+  EXPECT_EQ(cache.stats().flows_created, 6u);
+  EXPECT_EQ(log.records.size(), 4u);
+  for (const PruneReason reason : log.reasons)
+    EXPECT_EQ(reason, PruneReason::kMemcap);
+  // Oldest-first: the LRU tail goes first, in arrival order.
+  EXPECT_EQ(log.records[0].key.client_port, port(6000));
+  EXPECT_EQ(log.records[1].key.client_port, port(6001));
+  // Peak never exceeded the budget by more than the in-flight flow's cost.
+  EXPECT_LE(cache.stats().peak_bytes, config.memcap_bytes + 256 + big.size());
+}
+
+TEST(StreamFlowCache, IdleTimeoutEvictsInEventOrder) {
+  const Ipv4Address a(192, 168, 10, 5), b(192, 168, 10, 6);
+  RecordLog log;
+  FlowCacheConfig config;
+  config.idle_timeout = SimTime::from_seconds(5);
+  FlowCache cache(config, log.sink());
+
+  const Packet f1 = udp_packet(a, 5001, b, 80, "one");
+  const Packet f2 = udp_packet(a, 5002, b, 80, "two");
+  cache.add(SimTime::from_seconds(0), as_view(f1));
+  cache.add(SimTime::from_seconds(2), as_view(f2));
+  EXPECT_TRUE(log.records.empty());
+
+  // t=8: f1 idle 8s (out), f2 idle 6s (out); both expire before the new
+  // packet folds, oldest last_seen first.
+  const Packet f3 = udp_packet(a, 5003, b, 80, "three");
+  cache.add(SimTime::from_seconds(8), as_view(f3));
+  ASSERT_EQ(log.records.size(), 2u);
+  EXPECT_EQ(log.reasons[0], PruneReason::kIdle);
+  EXPECT_EQ(log.reasons[1], PruneReason::kIdle);
+  EXPECT_EQ(log.records[0].key.client_port, port(5001));
+  EXPECT_EQ(log.records[1].key.client_port, port(5002));
+  EXPECT_EQ(cache.stats().active_flows, 1u);
+}
+
+TEST(StreamFlowCache, EstablishedTimeoutSplitsLongLivedFlow) {
+  const Ipv4Address a(192, 168, 10, 5), b(192, 168, 10, 6);
+  RecordLog log;
+  FlowCacheConfig config;
+  config.established_timeout = SimTime::from_seconds(10);
+  FlowCache cache(config, log.sink());
+
+  const Packet chat = udp_packet(a, 5000, b, 80, "tick");
+  cache.add(SimTime::from_seconds(0), as_view(chat));
+  cache.add(SimTime::from_seconds(5), as_view(chat));
+  EXPECT_TRUE(log.records.empty());
+  // t=12: lifetime cap hit — the old record is emitted and a fresh one
+  // starts with this packet.
+  cache.add(SimTime::from_seconds(12), as_view(chat));
+  ASSERT_EQ(log.records.size(), 1u);
+  EXPECT_EQ(log.reasons[0], PruneReason::kEstablished);
+  EXPECT_EQ(log.records[0].packets, 2u);
+  EXPECT_EQ(cache.stats().flows_created, 2u);
+  EXPECT_EQ(cache.stats().active_flows, 1u);
+}
+
+TEST(StreamFlowCache, FlushEmitsSurvivorsInCreationOrder) {
+  const Ipv4Address a(192, 168, 10, 5), b(192, 168, 10, 6);
+  RecordLog log;
+  FlowCache cache({}, log.sink());
+  for (std::uint16_t i = 0; i < 5; ++i) {
+    const Packet p =
+        udp_packet(a, static_cast<std::uint16_t>(7000 + i), b, 80, "p");
+    cache.add(SimTime::from_ms(i), as_view(p));
+  }
+  // Touch them in reverse so LRU order is the opposite of creation order.
+  for (std::uint16_t i = 5; i-- > 0;) {
+    const Packet p =
+        udp_packet(a, static_cast<std::uint16_t>(7000 + i), b, 80, "p");
+    cache.add(SimTime::from_ms(100 + (5 - i)), as_view(p));
+  }
+  cache.flush();
+  ASSERT_EQ(log.records.size(), 5u);
+  for (std::uint16_t i = 0; i < 5; ++i)
+    EXPECT_EQ(log.records[i].key.client_port,
+              port(static_cast<std::uint16_t>(7000 + i)))
+        << i;
+}
+
+TEST(StreamFlowCache, PruneCountersReachTelemetry) {
+  auto& registry = telemetry::Registry::global();
+  telemetry::Counter& memcap_counter = registry.counter(
+      "roomnet_flow_cache_prunes_total", {{"reason", "memcap"}});
+  const std::uint64_t before = memcap_counter.value();
+
+  const Ipv4Address a(192, 168, 10, 5), b(192, 168, 10, 6);
+  FlowCacheConfig config;
+  config.memcap_bytes = 600;  // fits one 200-byte-payload flow, not two
+  FlowCache cache(config, {});
+  const std::string big(200, 'x');
+  for (std::uint16_t i = 0; i < 3; ++i) {
+    const Packet p =
+        udp_packet(a, static_cast<std::uint16_t>(6100 + i), b, 80, big);
+    cache.add(SimTime::from_ms(i), as_view(p));
+  }
+  EXPECT_GT(memcap_counter.value(), before);
+  EXPECT_GT(registry.gauge("roomnet_flow_cache_peak_flows").value(), 0);
+}
+
+// --------------------------------------------------------------- StreamParity
+
+/// Field-level spot checks plus the machine-checkable form: byte-identical
+/// manifest JSON (same config digest, same stage hashes).
+void expect_equal_results(const PipelineResults& batch,
+                          const PipelineResults& streaming) {
+  EXPECT_EQ(streaming.local_packets, batch.local_packets);
+  EXPECT_EQ(streaming.flows, batch.flows);
+  EXPECT_EQ(streaming.usage.by_device, batch.usage.by_device);
+  ASSERT_EQ(streaming.graph.edges.size(), batch.graph.edges.size());
+  for (std::size_t i = 0; i < streaming.graph.edges.size(); ++i) {
+    EXPECT_EQ(streaming.graph.edges[i].a, batch.graph.edges[i].a) << i;
+    EXPECT_EQ(streaming.graph.edges[i].b, batch.graph.edges[i].b) << i;
+    EXPECT_EQ(streaming.graph.edges[i].packets, batch.graph.edges[i].packets)
+        << i;
+  }
+  EXPECT_EQ(streaming.crossval.matrix, batch.crossval.matrix);
+  EXPECT_EQ(streaming.crossval.total, batch.crossval.total);
+  EXPECT_EQ(streaming.crossval.agreed, batch.crossval.agreed);
+  EXPECT_EQ(streaming.crossval.disagreed, batch.crossval.disagreed);
+  EXPECT_EQ(streaming.exposure.cells, batch.exposure.cells);
+  EXPECT_EQ(streaming.responses.discovery_protocols,
+            batch.responses.discovery_protocols);
+  EXPECT_EQ(streaming.responses.answered_protocols,
+            batch.responses.answered_protocols);
+  ASSERT_EQ(streaming.responses.matches.size(), batch.responses.matches.size());
+  for (std::size_t i = 0; i < streaming.responses.matches.size(); ++i) {
+    EXPECT_EQ(streaming.responses.matches[i].responder,
+              batch.responses.matches[i].responder)
+        << i;
+    EXPECT_EQ(streaming.responses.matches[i].response_at,
+              batch.responses.matches[i].response_at)
+        << i;
+  }
+  EXPECT_EQ(obs::to_json(streaming.manifest), obs::to_json(batch.manifest));
+  const obs::ManifestDiff diff =
+      obs::diff_manifests(batch.manifest, streaming.manifest);
+  EXPECT_TRUE(diff.equal) << diff.detail;
+}
+
+TEST(StreamParity, ByteIdenticalToBatchAcrossThreadCounts) {
+  // The headline claim: a default (non-evicting) streaming run reproduces
+  // the batch run bit-for-bit — same analysis tables, same manifest stage
+  // hashes, same config digest — at every worker count.
+  PipelineConfig config;
+  config.idle_duration = SimTime::from_minutes(10);
+  config.interactions = 20;
+  config.app_sample = 0;
+  config.run_scan = true;
+  config.run_crowd = true;
+
+  Pipeline batch_pipeline(config);
+  const PipelineResults batch = batch_pipeline.run();
+  EXPECT_GT(batch.flows, 0u);
+
+  for (const int threads : {1, 2, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    PipelineConfig c = config;
+    c.mode = PipelineMode::kStreaming;
+    c.threads = threads;
+    Pipeline streaming_pipeline(c);
+    const PipelineResults streaming = streaming_pipeline.run();
+    expect_equal_results(batch, streaming);
+    // The cache saw every flow and completed all of them at flush.
+    EXPECT_EQ(streaming.flow_cache.flows_created, batch.flows);
+    EXPECT_EQ(streaming.flow_cache.prunes[static_cast<std::size_t>(
+                  PruneReason::kFlush)],
+              batch.flows);
+    EXPECT_EQ(streaming.flow_cache.active_flows, 0u);
+  }
+}
+
+TEST(StreamParity, ByteIdenticalToBatchWithFaults) {
+  // Same claim under an adversarial frame stream: loss/dup/truncation/
+  // corruption perturb the wire identically in both modes (same fault seed),
+  // and streaming still reproduces batch bit-for-bit.
+  PipelineConfig config;
+  config.idle_duration = SimTime::from_minutes(10);
+  config.interactions = 10;
+  config.app_sample = 0;
+  config.run_scan = false;
+  config.run_crowd = false;
+  config.faults.loss = 0.03;
+  config.faults.duplicate = 0.02;
+  config.faults.truncate = 0.02;
+  config.faults.corrupt = 0.01;
+
+  Pipeline batch_pipeline(config);
+  const PipelineResults batch = batch_pipeline.run();
+  for (const int threads : {1, 2, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    PipelineConfig c = config;
+    c.mode = PipelineMode::kStreaming;
+    c.threads = threads;
+    Pipeline streaming_pipeline(c);
+    const PipelineResults streaming = streaming_pipeline.run();
+    expect_equal_results(batch, streaming);
+  }
+}
+
+TEST(StreamParity, EvictingConfigChangesDigestHonestly) {
+  // A memcap'd run may legitimately differ from batch (flows split, payload
+  // state dropped), so its config digest must say so — while the default
+  // streaming digest matches batch exactly.
+  PipelineConfig batch;
+  PipelineConfig plain_streaming = batch;
+  plain_streaming.mode = PipelineMode::kStreaming;
+  PipelineConfig memcapped = plain_streaming;
+  memcapped.stream.memcap_bytes = 1 << 20;
+
+  EXPECT_EQ(pipeline_config_digest(batch),
+            pipeline_config_digest(plain_streaming));
+  EXPECT_NE(pipeline_config_digest(batch), pipeline_config_digest(memcapped));
+  EXPECT_FALSE(plain_streaming.stream.evicting());
+  EXPECT_TRUE(memcapped.stream.evicting());
+}
+
+// --------------------------------------------------------------- StreamMemory
+
+TEST(StreamMemory, CacheStateBoundedByMemcapAsFlowCountGrows) {
+  // O(active flows), not O(all flows): drive 500 distinct flows through a
+  // 16 KiB cache and watch usage stay under the cap throughout.
+  const Ipv4Address a(192, 168, 10, 5), b(192, 168, 10, 6);
+  FlowCacheConfig config;
+  config.memcap_bytes = 16 * 1024;
+  FlowCache cache(config, {});
+  const std::string payload(300, 'y');
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    const Packet p = udp_packet(
+        Ipv4Address(192, 168, static_cast<std::uint8_t>(10 + i / 250),
+                    static_cast<std::uint8_t>(i % 250)),
+        static_cast<std::uint16_t>(1024 + i), b, 80, payload);
+    cache.add(SimTime::from_ms(i), as_view(p));
+    EXPECT_LE(cache.stats().bytes_used, config.memcap_bytes);
+  }
+  EXPECT_EQ(cache.stats().flows_created, 500u);
+  EXPECT_LE(cache.stats().peak_bytes,
+            config.memcap_bytes + 256 + payload.size());
+  EXPECT_GT(cache.stats().prunes[static_cast<std::size_t>(
+                PruneReason::kMemcap)],
+            0u);
+  (void)a;
+}
+
+TEST(StreamMemory, StreamingPeakStaysFlatWhileBatchCaptureGrows) {
+  // The regression the whole refactor exists to prevent: batch capture
+  // memory is O(simulated time); a memcap'd streaming run's peak state is
+  // not. Run the same scenario at 1x and 3x length in both modes.
+  PipelineConfig config;
+  config.idle_duration = SimTime::from_minutes(10);
+  config.interactions = 0;
+  config.app_sample = 0;
+  config.run_scan = false;
+  config.run_crowd = false;
+
+  auto& registry = telemetry::Registry::global();
+  telemetry::Gauge& arena_bytes =
+      registry.gauge("roomnet_capture_arena_bytes_used");
+
+  const auto run = [&](PipelineMode mode, double scale) {
+    PipelineConfig c = config;
+    c.mode = mode;
+    c.idle_duration = SimTime::from_minutes(10 * scale);
+    if (mode == PipelineMode::kStreaming)
+      c.stream.memcap_bytes = 256 * 1024;
+    Pipeline pipeline(c);
+    return pipeline.run();
+  };
+
+  const PipelineResults batch_short = run(PipelineMode::kBatch, 1);
+  const std::int64_t batch_short_arena = arena_bytes.value();
+  const PipelineResults batch_long = run(PipelineMode::kBatch, 3);
+  const std::int64_t batch_long_arena = arena_bytes.value();
+  EXPECT_GT(batch_short_arena, 0);
+  // Batch memory tracks simulated time (~3x the idle traffic).
+  EXPECT_GT(batch_long_arena, 2 * batch_short_arena);
+  EXPECT_GT(batch_long.local_packets, 2 * batch_short.local_packets);
+
+  const PipelineResults stream_short = run(PipelineMode::kStreaming, 1);
+  const PipelineResults stream_long = run(PipelineMode::kStreaming, 3);
+  EXPECT_GT(stream_long.flow_cache.flows_created,
+            stream_short.flow_cache.flows_created);
+  // ...but peak cache state is bounded by the memcap, not the run length.
+  EXPECT_GT(stream_short.flow_cache.peak_bytes, 0u);
+  EXPECT_LE(stream_long.flow_cache.peak_bytes, 256u * 1024u + 4096u);
+  EXPECT_LE(stream_long.flow_cache.peak_bytes,
+            stream_short.flow_cache.peak_bytes +
+                stream_short.flow_cache.peak_bytes / 2);
+}
+
+}  // namespace
+}  // namespace roomnet
