@@ -129,10 +129,23 @@ class Parser {
       case 't': return literal("true") ? std::optional<Value>(Value(true)) : std::nullopt;
       case 'f': return literal("false") ? std::optional<Value>(Value(false)) : std::nullopt;
       case '"': return string_value();
-      case '[': return array_value();
-      case '{': return object_value();
+      case '[': return nested([this] { return array_value(); });
+      case '{': return nested([this] { return object_value(); });
       default: return number_value();
     }
+  }
+
+  // Containers recurse through value(); without a depth cap a hostile
+  // payload of a few thousand '[' bytes overflows the stack (the TuyaLP and
+  // TPLINK-SHP decoders hand attacker-controlled UDP payloads straight to
+  // this parser). No legitimate device payload nests anywhere near 64 deep.
+  template <typename F>
+  std::optional<Value> nested(F&& parse) {
+    if (depth_ >= kMaxDepth) return std::nullopt;
+    ++depth_;
+    auto out = parse();
+    --depth_;
+    return out;
   }
 
   std::optional<Value> string_value() {
@@ -229,8 +242,11 @@ class Parser {
     }
   }
 
+  static constexpr int kMaxDepth = 64;
+
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

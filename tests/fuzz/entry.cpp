@@ -1,0 +1,18 @@
+// LLVMFuzzerTestOneInput for one harness, selected at compile time: CMake
+// builds this file once per fuzz_<name> executable with ROOMNET_FUZZ_ENTRY
+// defined to the harness entry point. Under clang the symbol is driven by
+// libFuzzer (-fsanitize=fuzzer); under gcc the standalone driver in
+// standalone_driver.cpp supplies main() with a compatible CLI.
+#include <cstddef>
+#include <cstdint>
+
+#include "harness.hpp"
+
+#ifndef ROOMNET_FUZZ_ENTRY
+#error "ROOMNET_FUZZ_ENTRY must name a harness entry point (see CMakeLists)"
+#endif
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return roomnet::fuzz::ROOMNET_FUZZ_ENTRY(roomnet::BytesView(data, size));
+}

@@ -1,0 +1,85 @@
+// FuzzInput: splits one flat fuzzer input into typed values, in the style
+// of LLVM's FuzzedDataProvider. Exhausted input yields zeros/empties rather
+// than failing, so every byte string maps to *some* structured message —
+// the property that lets the round-trip and structure-aware harnesses
+// explore the message space instead of rejecting most inputs at the door.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "netcore/address.hpp"
+#include "netcore/bytes.hpp"
+
+namespace roomnet::fuzz {
+
+class FuzzInput {
+ public:
+  explicit FuzzInput(BytesView data) : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+  std::uint8_t u8() { return pos_ < data_.size() ? data_[pos_++] : 0; }
+  std::uint16_t u16() {
+    return static_cast<std::uint16_t>(static_cast<std::uint16_t>(u8()) << 8 |
+                                      u8());
+  }
+  std::uint32_t u32() {
+    return static_cast<std::uint32_t>(u16()) << 16 | u16();
+  }
+  std::uint64_t u64() { return static_cast<std::uint64_t>(u32()) << 32 | u32(); }
+  bool boolean() { return (u8() & 1) != 0; }
+
+  /// Uniform-ish value in [0, bound). bound == 0 returns 0.
+  std::size_t below(std::size_t bound) {
+    return bound == 0 ? 0 : u32() % bound;
+  }
+  /// Value in [lo, hi] inclusive.
+  std::size_t range(std::size_t lo, std::size_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Up to `n` bytes (fewer when the input runs dry).
+  Bytes bytes(std::size_t n) {
+    const std::size_t take = n < remaining() ? n : remaining();
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + take));
+    pos_ += take;
+    return out;
+  }
+
+  /// ASCII string of up to `n` chars drawn from `charset`.
+  std::string str(std::size_t n, std::string_view charset) {
+    std::string out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      out += charset[u8() % charset.size()];
+    return out;
+  }
+
+  MacAddress mac() {
+    std::array<std::uint8_t, 6> o{};
+    for (auto& b : o) b = u8();
+    return MacAddress(o);
+  }
+  Ipv4Address ipv4() { return Ipv4Address(u32()); }
+  Ipv6Address ipv6() {
+    std::array<std::uint8_t, 16> b{};
+    for (auto& x : b) x = u8();
+    return Ipv6Address(b);
+  }
+
+  /// Everything not yet consumed.
+  BytesView rest() {
+    const BytesView out = data_.subspan(pos_);
+    pos_ = data_.size();
+    return out;
+  }
+
+ private:
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace roomnet::fuzz

@@ -1,0 +1,43 @@
+// Field-granularity mutation helpers shared by the structure-aware payload
+// harnesses: instead of flipping random bits, each harness encodes a
+// well-formed message and then rewrites the specific fields attackers
+// control — length fields, counts, compression pointers, TLV lengths —
+// with wire-meaningful values.
+#pragma once
+
+#include <cstdint>
+
+#include "fuzz_input.hpp"
+#include "netcore/bytes.hpp"
+
+namespace roomnet::fuzz {
+
+inline void put_u16(Bytes& buf, std::size_t offset, std::uint16_t v) {
+  if (offset + 2 > buf.size()) return;
+  buf[offset] = static_cast<std::uint8_t>(v >> 8);
+  buf[offset + 1] = static_cast<std::uint8_t>(v);
+}
+
+inline void put_u24(Bytes& buf, std::size_t offset, std::uint32_t v) {
+  if (offset + 3 > buf.size()) return;
+  buf[offset] = static_cast<std::uint8_t>(v >> 16);
+  buf[offset + 1] = static_cast<std::uint8_t>(v >> 8);
+  buf[offset + 2] = static_cast<std::uint8_t>(v);
+}
+
+/// Boundary values that stress length/count arithmetic.
+inline constexpr std::uint16_t kInteresting16[] = {
+    0x0000, 0x0001, 0x007f, 0x0080, 0x00ff, 0x0100,
+    0x7fff, 0x8000, 0xc00c, 0xfffe, 0xffff,
+};
+
+inline std::uint16_t interesting_u16(FuzzInput& in) {
+  return kInteresting16[in.u8() % (sizeof(kInteresting16) / 2)];
+}
+
+/// Truncate to an input-chosen prefix (possibly empty, possibly full).
+inline void truncate(Bytes& buf, FuzzInput& in) {
+  buf.resize(in.below(buf.size() + 1));
+}
+
+}  // namespace roomnet::fuzz

@@ -1,0 +1,113 @@
+// Structure-aware DHCP fuzz. Phase A: raw decode + fixpoint. Phase B:
+// encode a well-formed DISCOVER (hostname, vendor class, parameter request
+// list — the §5.1 option surface) and mutate at field granularity: option
+// TLV length bytes, option codes, the magic cookie, the op/htype header
+// bytes, and truncation, then require a total decode.
+#include "fuzz_input.hpp"
+#include "fuzz_mutate.hpp"
+#include "harness.hpp"
+#include "proto/dhcp.hpp"
+
+namespace roomnet::fuzz {
+
+namespace {
+
+constexpr char kName[] = "dhcp";
+constexpr std::string_view kHostChars =
+    "abcdefghijklmnopqrstuvwxyz0123456789-";
+
+// BOOTP fixed header is 236 bytes; options follow the 4-byte magic cookie.
+constexpr std::size_t kCookieOffset = 236;
+constexpr std::size_t kOptionsOffset = 240;
+
+void check_idempotent(const DhcpMessage& decoded) {
+  const Bytes e2 = encode_dhcp(decoded);
+  const auto d2 = decode_dhcp(BytesView(e2));
+  ROOMNET_FUZZ_CHECK(d2.has_value(), kName,
+                     "re-encoded message no longer decodes");
+  const Bytes e3 = encode_dhcp(*d2);
+  ROOMNET_FUZZ_CHECK(e2 == e3, kName, "decode-encode cycle is not a fixpoint");
+}
+
+Bytes template_discover(FuzzInput& in) {
+  DhcpMessage msg;
+  msg.is_request = true;
+  msg.xid = in.u32();
+  msg.client_mac = in.mac();
+  msg.set_message_type(DhcpMessageType::kDiscover);
+  msg.set_hostname(in.str(in.range(1, 16), kHostChars));
+  msg.set_vendor_class("udhcp " + in.str(in.range(1, 8), kHostChars));
+  std::vector<std::uint8_t> prl;
+  const std::size_t asks = in.range(1, 8);
+  for (std::size_t i = 0; i < asks; ++i) prl.push_back(in.u8());
+  msg.set_parameter_request_list(prl);
+  return encode_dhcp(msg);
+}
+
+/// Offsets of every option length byte in the TLV area (walked the same way
+/// the decoder walks them, stopping at END).
+std::vector<std::size_t> option_length_offsets(const Bytes& wire) {
+  std::vector<std::size_t> offsets;
+  std::size_t pos = kOptionsOffset;
+  while (pos + 1 < wire.size()) {
+    const std::uint8_t code = wire[pos];
+    if (code == 255) break;
+    if (code == 0) {
+      ++pos;
+      continue;
+    }
+    offsets.push_back(pos + 1);
+    pos += 2 + wire[pos + 1];
+  }
+  return offsets;
+}
+
+}  // namespace
+
+int fuzz_dhcp(BytesView data) {
+  if (data.size() > 65536) return 0;
+
+  if (const auto decoded = decode_dhcp(data)) check_idempotent(*decoded);
+
+  FuzzInput in(data);
+  Bytes wire = template_discover(in);
+  const std::size_t mutations = in.range(1, 8);
+  for (std::size_t i = 0; i < mutations && !wire.empty(); ++i) {
+    switch (in.u8() % 6) {
+      case 0: {  // option length byte: overflow past the buffer end
+        const auto offsets = option_length_offsets(wire);
+        if (!offsets.empty()) {
+          const std::size_t at = offsets[in.below(offsets.size())];
+          wire[at] = in.boolean() ? 0xff : in.u8();
+        }
+        break;
+      }
+      case 1: {  // option code byte: pad/end/unknown codes mid-stream
+        const auto offsets = option_length_offsets(wire);
+        if (!offsets.empty()) {
+          const std::size_t at = offsets[in.below(offsets.size())] - 1;
+          static constexpr std::uint8_t kCodes[] = {0, 255, 53, 12, 55, 61};
+          wire[at] = in.boolean() ? kCodes[in.u8() % 6] : in.u8();
+        }
+        break;
+      }
+      case 2:  // magic cookie corruption
+        if (kCookieOffset + 4 <= wire.size())
+          wire[kCookieOffset + (in.u8() % 4)] = in.u8();
+        break;
+      case 3:  // header bytes: op/htype/hlen/hops
+        if (wire.size() >= 4) wire[in.u8() % 4] = in.u8();
+        break;
+      case 4:
+        truncate(wire, in);
+        break;
+      default:
+        wire[in.below(wire.size())] = in.u8();
+        break;
+    }
+  }
+  if (const auto decoded = decode_dhcp(wire)) check_idempotent(*decoded);
+  return 0;
+}
+
+}  // namespace roomnet::fuzz

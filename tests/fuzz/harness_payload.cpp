@@ -1,0 +1,97 @@
+// Catch-all payload-decoder fuzz: every remaining application-layer parser
+// the classifiers feed attacker-controlled UDP/TCP payloads into. Each
+// decoder must be total on the raw input, and a successful decode must
+// survive a re-encode cycle. The JSON parser is exercised both directly
+// and through the TP-Link/Tuya autokey+frame paths (the route by which a
+// hostile datagram once reached unbounded parser recursion).
+#include <string_view>
+
+#include "harness.hpp"
+#include "proto/coap.hpp"
+#include "proto/dhcpv6.hpp"
+#include "proto/http.hpp"
+#include "proto/json.hpp"
+#include "proto/matter.hpp"
+#include "proto/media.hpp"
+#include "proto/netbios.hpp"
+#include "proto/tplink.hpp"
+#include "proto/tuya.hpp"
+
+namespace roomnet::fuzz {
+
+namespace {
+
+constexpr char kName[] = "payload";
+
+template <typename Msg, typename Enc, typename Dec>
+void idempotent(const char* what, const Msg& decoded, Enc&& enc, Dec&& dec) {
+  const Bytes e2 = enc(decoded);
+  const auto d2 = dec(BytesView(e2));
+  if (!d2.has_value()) fuzz_fail(kName, what);
+  const Bytes e3 = enc(*d2);
+  if (e2 != e3) fuzz_fail(kName, what);
+}
+
+}  // namespace
+
+int fuzz_payload(BytesView data) {
+  if (data.size() > 65536) return 0;
+  const std::string_view as_text(reinterpret_cast<const char*>(data.data()),
+                                 data.size());
+
+  if (const auto m = decode_coap(data))
+    idempotent("coap", *m, encode_coap, decode_coap);
+
+  if (const auto m = decode_tuya_frame(data))
+    idempotent("tuya-frame", *m, encode_tuya_frame, decode_tuya_frame);
+  if (const auto d = decode_tuya_discovery(data)) {
+    const auto v = d->to_json();
+    if (!TuyaDiscovery::from_json(v).has_value())
+      fuzz_fail(kName, "tuya discovery JSON cycle");
+  }
+
+  // TP-Link autokey "encryption" decodes any byte string; the interesting
+  // property is that the inner JSON parse is total.
+  (void)decode_tplink_udp(data);
+  (void)decode_tplink_tcp(data);
+
+  if (const auto m = decode_netbios(data))
+    idempotent("netbios", *m, encode_netbios, decode_netbios);
+  (void)is_netbios_wildcard_scan(data);
+  (void)netbios_decode_name(as_text);
+
+  if (const auto m = decode_matter(data))
+    idempotent("matter", *m, encode_matter, decode_matter);
+  (void)looks_like_matter(data);
+
+  if (const auto m = decode_rtp(data))
+    idempotent("rtp", *m, encode_rtp, decode_rtp);
+  (void)looks_like_rtp(data);
+  if (const auto m = decode_stun(data))
+    idempotent("stun", *m, encode_stun, decode_stun);
+  (void)looks_like_stun(data);
+
+  if (const auto m = decode_dhcpv6(data))
+    idempotent("dhcpv6", *m, encode_dhcpv6, decode_dhcpv6);
+  if (const auto m = decode_dhcpv6(data)) {
+    (void)m->client_mac();
+    (void)m->fqdn();
+  }
+
+  if (const auto m = decode_http_request(data))
+    idempotent("http-request", *m, encode_http_request, decode_http_request);
+  if (const auto m = decode_http_response(data))
+    idempotent("http-response", *m, encode_http_response,
+               decode_http_response);
+  (void)looks_like_http(data);
+
+  // Bare JSON: parse must be total (bounded recursion included), and a
+  // successful parse must re-serialize to parseable text.
+  if (const auto v = json::parse(as_text)) {
+    if (!json::parse(v->dump()).has_value())
+      fuzz_fail(kName, "JSON dump no longer parses");
+  }
+  return 0;
+}
+
+}  // namespace roomnet::fuzz

@@ -1,0 +1,34 @@
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness.hpp"
+
+namespace roomnet::fuzz {
+
+namespace {
+constexpr HarnessInfo kHarnesses[] = {
+    {"frame", fuzz_frame},   {"roundtrip", fuzz_roundtrip},
+    {"dns", fuzz_dns},       {"dhcp", fuzz_dhcp},
+    {"ssdp", fuzz_ssdp},     {"tls", fuzz_tls},
+    {"payload", fuzz_payload}, {"stream", fuzz_stream},
+};
+}  // namespace
+
+const HarnessInfo* harness_registry(std::size_t* count) {
+  *count = sizeof(kHarnesses) / sizeof(kHarnesses[0]);
+  return kHarnesses;
+}
+
+const HarnessInfo* find_harness(std::string_view name) {
+  for (const auto& h : kHarnesses)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+void fuzz_fail(const char* harness, const char* message) {
+  std::fprintf(stderr, "FUZZ INVARIANT VIOLATED [%s]: %s\n", harness, message);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace roomnet::fuzz

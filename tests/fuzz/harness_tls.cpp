@@ -1,0 +1,125 @@
+// Structure-aware TLS fuzz. Phase A: the raw input as a record stream
+// through decode_tls_record/decode_tls_records and all three handshake
+// decoders. Phase B: encode a well-formed ClientHello / ServerHello /
+// Certificate flight and mutate exactly the fields that frame lengths on
+// the wire — the record's 16-bit length, the handshake's 24-bit length,
+// cipher-suite and extension length prefixes, version bytes — plus
+// truncation, then require total decodes.
+#include "fuzz_input.hpp"
+#include "fuzz_mutate.hpp"
+#include "harness.hpp"
+#include "proto/tls.hpp"
+
+namespace roomnet::fuzz {
+
+namespace {
+
+constexpr char kName[] = "tls";
+constexpr std::string_view kCnChars =
+    "abcdefghijklmnopqrstuvwxyz0123456789.-";
+
+// Record header: type(1) version(2) length(2); handshake header follows:
+// type(1) length(3).
+constexpr std::size_t kRecordLenOffset = 3;
+constexpr std::size_t kHandshakeLenOffset = 6;
+
+void try_all_decoders(BytesView wire) {
+  if (const auto record = decode_tls_record(wire)) {
+    (void)decode_client_hello(*record);
+    (void)decode_server_hello(*record);
+    (void)decode_certificate(*record);
+  }
+  const auto records = decode_tls_records(wire);
+  for (const auto& record : records) {
+    (void)decode_client_hello(record);
+    (void)decode_server_hello(record);
+    (void)decode_certificate(record);
+  }
+  (void)looks_like_tls(wire);
+}
+
+Bytes template_flight(FuzzInput& in) {
+  static constexpr TlsVersion kVersions[] = {
+      TlsVersion::kTls10, TlsVersion::kTls11, TlsVersion::kTls12,
+      TlsVersion::kTls13};
+  const TlsVersion version = kVersions[in.u8() % 4];
+  switch (in.u8() % 3) {
+    case 0: {
+      TlsClientHello hello;
+      hello.version = version;
+      hello.random = in.bytes(32);
+      const std::size_t suites = in.range(1, 6);
+      for (std::size_t i = 0; i < suites; ++i)
+        hello.cipher_suites.push_back(in.u16());
+      if (in.boolean()) hello.sni = in.str(in.range(1, 16), kCnChars);
+      return encode_client_hello(hello);
+    }
+    case 1: {
+      TlsServerHello hello;
+      hello.version = version;
+      hello.random = in.bytes(32);
+      hello.cipher_suite = in.u16();
+      return encode_server_hello(hello);
+    }
+    default: {
+      CertificateInfo cert;
+      cert.subject_cn = in.str(in.range(1, 20), kCnChars);
+      cert.issuer_cn = in.boolean() ? cert.subject_cn  // self-signed
+                                    : in.str(in.range(1, 20), kCnChars);
+      cert.validity_days = in.u16();
+      cert.key_bits = in.u16();
+      return encode_certificate(cert, version, in.boolean());
+    }
+  }
+}
+
+}  // namespace
+
+int fuzz_tls(BytesView data) {
+  if (data.size() > 65536) return 0;
+
+  // Phase A: raw input as a record stream.
+  try_all_decoders(data);
+
+  // Phase B: length-field mutations of a well-formed flight.
+  FuzzInput in(data);
+  Bytes wire = template_flight(in);
+  const std::size_t mutations = in.range(1, 8);
+  for (std::size_t i = 0; i < mutations && !wire.empty(); ++i) {
+    switch (in.u8() % 7) {
+      case 0:  // record length: longer/shorter than the actual body
+        put_u16(wire, kRecordLenOffset, interesting_u16(in));
+        break;
+      case 1:  // handshake 24-bit length
+        put_u24(wire, kHandshakeLenOffset,
+                in.boolean() ? 0xffffffu : in.u32() & 0xffffff);
+        break;
+      case 2:  // version bytes (record and/or legacy handshake version)
+        if (wire.size() > 2) {
+          wire[1] = in.boolean() ? 0x03 : in.u8();
+          wire[2] = in.u8();
+        }
+        break;
+      case 3: {  // cipher-suite count / session-id length region
+        const std::size_t at = 43 + in.below(4);
+        if (at < wire.size()) wire[at] = in.boolean() ? 0xff : in.u8();
+        break;
+      }
+      case 4: {  // extension-length-ish u16 anywhere past the headers
+        if (wire.size() > 11) put_u16(wire, 9 + in.below(wire.size() - 9),
+                                      interesting_u16(in));
+        break;
+      }
+      case 5:
+        truncate(wire, in);
+        break;
+      default:
+        wire[in.below(wire.size())] = in.u8();
+        break;
+    }
+  }
+  try_all_decoders(wire);
+  return 0;
+}
+
+}  // namespace roomnet::fuzz

@@ -1,0 +1,375 @@
+// Standalone fuzz driver for toolchains without libFuzzer (gcc): replays a
+// corpus and runs a deterministic mutation loop against the harness's
+// LLVMFuzzerTestOneInput, accepting the libFuzzer flags scripts/check.sh
+// and CI use, so the same command line works under either engine:
+//
+//   fuzz_dns [-max_total_time=S] [-runs=N] [-seed=N]
+//            [-artifact_prefix=PATH/] [-minimize_crash=1] corpus_dir file...
+//
+// Corpus entries may be raw .bin files or reviewable .hex files (hex bytes,
+// whitespace ignored, '#' comments). On a crash — an aborting invariant, a
+// sanitizer report, or a fatal signal — the dying input is written to
+// <artifact_prefix>crash-<pid>.bin before the process exits, so every
+// finding leaves a reproducer. -minimize_crash=1 <file> greedily shrinks a
+// crashing input in forked children and writes the smallest reproducer to
+// <artifact_prefix>minimized.bin.
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "netcore/bytes.hpp"
+#include "netcore/rng.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+// Present when a sanitizer runtime is linked; lets us persist the dying
+// input on sanitizer reports that _exit without raising a signal.
+extern "C" void __sanitizer_set_death_callback(void (*callback)(void))
+    __attribute__((weak));
+
+namespace {
+
+using roomnet::Bytes;
+using roomnet::Rng;
+
+// -- crash artifact plumbing (async-signal-safe) ----------------------------
+
+char g_artifact_path[4096] = "crash.bin";
+const std::uint8_t* g_current_data = nullptr;
+std::size_t g_current_size = 0;
+
+void write_artifact() {
+  if (g_current_data == nullptr) return;
+  const int fd =
+      open(g_artifact_path, O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) return;
+  std::size_t done = 0;
+  while (done < g_current_size) {
+    const ssize_t n =
+        write(fd, g_current_data + done, g_current_size - done);
+    if (n <= 0) break;
+    done += static_cast<std::size_t>(n);
+  }
+  close(fd);
+  static const char kMsg[] = "\nartifact written: ";
+  (void)!write(2, kMsg, sizeof(kMsg) - 1);
+  (void)!write(2, g_artifact_path, strnlen(g_artifact_path,
+                                           sizeof(g_artifact_path)));
+  (void)!write(2, "\n", 1);
+}
+
+void crash_handler(int sig) {
+  write_artifact();
+  signal(sig, SIG_DFL);
+  raise(sig);
+}
+
+void install_crash_handlers() {
+  if (__sanitizer_set_death_callback != nullptr) {
+    // A sanitizer runtime owns the fatal-signal handlers; taking them over
+    // would swallow its report. Its death callback fires after the report
+    // is printed, for signals and sanitizer errors alike. SIGABRT (the
+    // fuzz_fail path) is not a sanitizer error, so handle it ourselves.
+    __sanitizer_set_death_callback(write_artifact);
+    signal(SIGABRT, crash_handler);
+    return;
+  }
+  for (const int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGILL, SIGFPE})
+    signal(sig, crash_handler);
+}
+
+int run_one(const Bytes& input) {
+  g_current_data = input.data();
+  g_current_size = input.size();
+  const int rc = LLVMFuzzerTestOneInput(input.data(), input.size());
+  g_current_data = nullptr;
+  return rc;
+}
+
+// -- corpus loading ---------------------------------------------------------
+
+bool load_hex(const std::string& path, Bytes& out) {
+  std::ifstream f(path);
+  if (!f) return false;
+  out.clear();
+  int hi = -1;
+  char c = 0;
+  bool comment = false;
+  while (f.get(c)) {
+    if (c == '#') comment = true;
+    if (c == '\n') comment = false;
+    if (comment || std::isspace(static_cast<unsigned char>(c))) continue;
+    int nibble = -1;
+    if (c >= '0' && c <= '9') nibble = c - '0';
+    else if (c >= 'a' && c <= 'f') nibble = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') nibble = c - 'A' + 10;
+    else return false;
+    if (hi < 0) {
+      hi = nibble;
+    } else {
+      out.push_back(static_cast<std::uint8_t>(hi << 4 | nibble));
+      hi = -1;
+    }
+  }
+  return hi < 0;  // reject odd nibble counts
+}
+
+bool load_file(const std::string& path, Bytes& out) {
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".hex")
+    return load_hex(path, out);
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  out.assign(std::istreambuf_iterator<char>(f),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
+void collect_inputs(const std::string& path,
+                    std::vector<std::pair<std::string, Bytes>>& corpus) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    std::vector<std::string> files;
+    for (const auto& entry : fs::directory_iterator(path, ec))
+      if (entry.is_regular_file()) files.push_back(entry.path().string());
+    std::sort(files.begin(), files.end());  // deterministic replay order
+    for (const auto& f : files) {
+      Bytes data;
+      if (load_file(f, data)) corpus.emplace_back(f, std::move(data));
+    }
+  } else {
+    Bytes data;
+    if (load_file(path, data)) corpus.emplace_back(path, std::move(data));
+    else std::fprintf(stderr, "WARNING: cannot read %s\n", path.c_str());
+  }
+}
+
+// -- mutation engine --------------------------------------------------------
+
+Bytes mutate(const Bytes& seed, const std::vector<std::pair<std::string, Bytes>>& corpus,
+             Rng& rng) {
+  Bytes out = seed;
+  const int rounds = 1 + static_cast<int>(rng.below(6));
+  for (int i = 0; i < rounds; ++i) {
+    switch (rng.below(8)) {
+      case 0:  // bit flip
+        if (!out.empty())
+          out[rng.below(out.size())] ^= static_cast<std::uint8_t>(
+              1u << rng.below(8));
+        break;
+      case 1:  // byte set
+        if (!out.empty())
+          out[rng.below(out.size())] = static_cast<std::uint8_t>(rng.next_u64());
+        break;
+      case 2: {  // insert random bytes
+        const std::size_t n = 1 + rng.below(8);
+        const std::size_t at = rng.below(out.size() + 1);
+        const Bytes junk = rng.bytes(n);
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(at), junk.begin(),
+                   junk.end());
+        break;
+      }
+      case 3: {  // erase a range
+        if (out.empty()) break;
+        const std::size_t at = rng.below(out.size());
+        const std::size_t n = 1 + rng.below(out.size() - at);
+        out.erase(out.begin() + static_cast<std::ptrdiff_t>(at),
+                  out.begin() + static_cast<std::ptrdiff_t>(at + n));
+        break;
+      }
+      case 4: {  // duplicate a range in place
+        if (out.empty() || out.size() > 65536) break;
+        const std::size_t at = rng.below(out.size());
+        const std::size_t n = 1 + rng.below(std::min<std::size_t>(
+                                      out.size() - at, 64));
+        const Bytes chunk(out.begin() + static_cast<std::ptrdiff_t>(at),
+                          out.begin() + static_cast<std::ptrdiff_t>(at + n));
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(at), chunk.begin(),
+                   chunk.end());
+        break;
+      }
+      case 5: {  // overwrite a u16 with a boundary value
+        static constexpr std::uint16_t kBoundary[] = {
+            0, 1, 0x7f, 0x80, 0xff, 0x100, 0x7fff, 0x8000, 0xc00c, 0xffff};
+        if (out.size() < 2) break;
+        const std::size_t at = rng.below(out.size() - 1);
+        const std::uint16_t v = kBoundary[rng.below(10)];
+        out[at] = static_cast<std::uint8_t>(v >> 8);
+        out[at + 1] = static_cast<std::uint8_t>(v);
+        break;
+      }
+      case 6: {  // splice a block from another corpus entry
+        if (corpus.empty()) break;
+        const Bytes& other = corpus[rng.below(corpus.size())].second;
+        if (other.empty()) break;
+        const std::size_t at = rng.below(other.size());
+        const std::size_t n = 1 + rng.below(std::min<std::size_t>(
+                                      other.size() - at, 128));
+        const std::size_t to = rng.below(out.size() + 1);
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(to),
+                   other.begin() + static_cast<std::ptrdiff_t>(at),
+                   other.begin() + static_cast<std::ptrdiff_t>(at + n));
+        break;
+      }
+      default:  // truncate
+        if (!out.empty()) out.resize(rng.below(out.size()));
+        break;
+    }
+  }
+  if (out.size() > 262144) out.resize(262144);
+  return out;
+}
+
+// -- fork-based crash minimization ------------------------------------------
+
+bool crashes_in_child(const Bytes& input) {
+  const pid_t pid = fork();
+  if (pid < 0) return false;
+  if (pid == 0) {
+    // Quiet the child's report spew; only its exit status matters.
+    const int devnull = open("/dev/null", O_WRONLY);
+    if (devnull >= 0) {
+      dup2(devnull, 1);
+      dup2(devnull, 2);
+    }
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    _exit(0);
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);
+  return WIFSIGNALED(status) || (WIFEXITED(status) && WEXITSTATUS(status) != 0);
+}
+
+int minimize(const Bytes& crash, const std::string& artifact_prefix) {
+  if (!crashes_in_child(crash)) {
+    std::fprintf(stderr, "minimize: input does not crash, nothing to do\n");
+    return 1;
+  }
+  Bytes best = crash;
+  bool progress = true;
+  while (progress && !best.empty()) {
+    progress = false;
+    // Chunked removal passes, halving chunk sizes down to single bytes.
+    for (std::size_t chunk = best.size() / 2; chunk >= 1; chunk /= 2) {
+      for (std::size_t at = 0; at + chunk <= best.size();) {
+        Bytes candidate = best;
+        candidate.erase(
+            candidate.begin() + static_cast<std::ptrdiff_t>(at),
+            candidate.begin() + static_cast<std::ptrdiff_t>(at + chunk));
+        if (crashes_in_child(candidate)) {
+          best = std::move(candidate);
+          progress = true;
+        } else {
+          at += chunk;
+        }
+      }
+      if (chunk == 1) break;
+    }
+  }
+  const std::string out = artifact_prefix + "minimized.bin";
+  std::ofstream f(out, std::ios::binary);
+  f.write(reinterpret_cast<const char*>(best.data()),
+          static_cast<std::streamsize>(best.size()));
+  f.close();
+  std::fprintf(stderr, "minimize: %zu -> %zu bytes, written to %s\n",
+               crash.size(), best.size(), out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double max_total_time = 0;
+  long long runs = -1;  // -1: replay-only unless a time budget is given
+  std::uint64_t seed = 1;
+  std::string artifact_prefix;
+  bool do_minimize = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto flag_value = [&](const char* name) -> const char* {
+      const std::size_t len = std::strlen(name);
+      return arg.compare(0, len, name) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* v = flag_value("-max_total_time=")) {
+      max_total_time = std::atof(v);
+    } else if (const char* v = flag_value("-runs=")) {
+      runs = std::atoll(v);
+    } else if (const char* v = flag_value("-seed=")) {
+      seed = static_cast<std::uint64_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = flag_value("-artifact_prefix=")) {
+      artifact_prefix = v;
+    } else if (const char* v = flag_value("-minimize_crash=")) {
+      do_minimize = std::atoi(v) != 0;
+    } else if (flag_value("-help=") != nullptr || arg == "--help") {
+      std::fprintf(stderr,
+                   "usage: %s [-max_total_time=S] [-runs=N] [-seed=N]\n"
+                   "          [-artifact_prefix=P/] [-minimize_crash=1]\n"
+                   "          corpus_dir_or_file...\n",
+                   argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "INFO: ignoring unsupported flag %s\n",
+                   arg.c_str());
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  std::snprintf(g_artifact_path, sizeof(g_artifact_path), "%scrash-%d.bin",
+                artifact_prefix.c_str(), static_cast<int>(getpid()));
+  install_crash_handlers();
+
+  std::vector<std::pair<std::string, Bytes>> corpus;
+  for (const auto& path : paths) collect_inputs(path, corpus);
+
+  if (do_minimize) {
+    if (corpus.size() != 1) {
+      std::fprintf(stderr, "minimize: pass exactly one crashing input\n");
+      return 1;
+    }
+    return minimize(corpus[0].second, artifact_prefix);
+  }
+
+  // Replay phase: every corpus entry, in sorted order.
+  for (const auto& [path, data] : corpus) run_one(data);
+  std::fprintf(stderr, "replayed %zu corpus inputs\n", corpus.size());
+
+  // Mutation phase.
+  const bool timed = max_total_time > 0;
+  if (!timed && runs < 0) return 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(static_cast<long long>(max_total_time * 1000));
+  Rng rng(seed);
+  const Bytes empty;
+  long long executed = 0;
+  while ((runs < 0 || executed < runs) &&
+         (!timed || std::chrono::steady_clock::now() < deadline)) {
+    if (!timed && runs < 0) break;
+    const Bytes& base =
+        corpus.empty() ? empty : corpus[rng.below(corpus.size())].second;
+    const Bytes candidate = mutate(base, corpus, rng);
+    run_one(candidate);
+    ++executed;
+    if (executed % 4096 == 0)
+      std::fprintf(stderr, "#%lld exec (standalone mutation loop)\n",
+                   executed);
+  }
+  std::fprintf(stderr, "DONE: %lld mutated executions, 0 crashes\n", executed);
+  return 0;
+}

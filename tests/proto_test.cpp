@@ -67,6 +67,21 @@ TEST(Json, RejectsMalformed) {
   EXPECT_EQ(json::parse("\"unterminated"), std::nullopt);
 }
 
+TEST(Json, RejectsPathologicalNesting) {
+  // A few KiB of '[' used to recurse once per bracket and overflow the
+  // stack; the parser now rejects anything nested deeper than its cap.
+  std::string bomb(100000, '[');
+  EXPECT_EQ(json::parse(bomb), std::nullopt);
+  std::string closed = std::string(100000, '[') + std::string(100000, ']');
+  EXPECT_EQ(json::parse(closed), std::nullopt);
+  std::string objects;
+  for (int i = 0; i < 50000; ++i) objects += "{\"a\":";
+  EXPECT_EQ(json::parse(objects), std::nullopt);
+  // Sane nesting still parses.
+  std::string ok = std::string(32, '[') + "1" + std::string(32, ']');
+  EXPECT_TRUE(json::parse(ok).has_value());
+}
+
 TEST(Json, DumpIsDeterministic) {
   json::Object o;
   o.emplace("z", 1);
