@@ -8,6 +8,7 @@
 #include "capture/filter.hpp"
 #include "capture/flow.hpp"
 #include "core/provenance.hpp"
+#include "core/stage_names.hpp"
 #include "exec/parallel.hpp"
 #include "exec/task_pool.hpp"
 #include "obs/log.hpp"
@@ -170,11 +171,44 @@ PipelineResults Pipeline::run() {
     }
   };
 
+  // The network's own flight recorder: per-device event timelines plus the
+  // streaming alert-rule engine, fed from the packet tap below (and, on
+  // faulty runs, the switch fate tap and the churn observer). Everything it
+  // sees arrives on the sim thread in event order, so the timeline — and
+  // the "watch" manifest stage hashed from it — is byte-identical across
+  // thread counts and pipeline modes.
+  std::unique_ptr<watch::Watcher> watcher;
+  if (config_.watch.enabled) {
+    watcher = std::make_unique<watch::Watcher>(config_.watch);
+    for (const auto& device : lab_->devices())
+      watcher->register_device(
+          device->mac(), device->spec().vendor + " " + device->spec().model);
+    watcher->register_device(lab_->router().mac(), "router");
+    watcher->register_device(lab_->pixel().mac(), "pixel phone");
+    watcher->register_device(lab_->iphone().mac(), "iphone");
+    watcher->register_device(MacAddress::from_u64(0x02a0fc0000aaull),
+                             "scanbox");
+    watcher->add_known_resolver(lab_->router().ip());
+    if (!watcher->rule_error().empty())
+      ROOMNET_LOG(kWarn, "watch", "rule_parse_error",
+                  kv("error", watcher->rule_error()));
+    if (fault_plan_->enabled())
+      lab_->network().add_fate_tap(
+          [&w = *watcher](SimTime at, MacAddress src,
+                          const Switch::FrameFate& fate, std::size_t size) {
+            w.on_fate(at, src, fate, size);
+          });
+  }
+
   if (fault_plan_->enabled() && config_.faults.churn > 0) {
     std::vector<Host*> hosts;
     hosts.reserve(lab_->devices().size());
     for (auto& device : lab_->devices()) hosts.push_back(&device->host());
     churn_ = std::make_unique<faults::ChurnDriver>(*fault_plan_);
+    if (watcher != nullptr)
+      churn_->set_observer([&w = *watcher](const faults::ChurnEvent& event) {
+        w.on_churn(event.at, event.mac, event.label, event.online);
+      });
     churn_->attach(lab_->loop(), std::move(hosts));
   }
 
@@ -200,7 +234,17 @@ PipelineResults Pipeline::run() {
   const LocalFilter filter;
   FlowTable flow_table;
   std::optional<stream::StreamAnalyzer> analyzer;
-  if (streaming) analyzer.emplace(config_.stream, results.population);
+  if (streaming) {
+    analyzer.emplace(config_.stream, results.population);
+    // Flow completions (evictions mid-run, the rest at the classify flush)
+    // feed the watch layer's upload-ratio rules in creation order — the
+    // same order the batch adapter below replays.
+    if (watcher != nullptr)
+      analyzer->set_flow_observer(
+          [&w = *watcher](const FlowRecord& record, PruneReason reason) {
+            w.on_flow(record, reason);
+          });
+  }
   obs::CanonicalHasher capture_hash;
   lab_->network().add_packet_tap(
       [&](SimTime at, const PacketView& packet, BytesView raw) {
@@ -208,6 +252,7 @@ PipelineResults Pipeline::run() {
         ++results.local_packets;
         capture_hash.i64(at.us());
         capture_hash.bytes(raw);
+        if (watcher != nullptr) watcher->on_packet(at, packet);
         if (streaming) {
           analyzer->on_packet(at, packet);
           return;
@@ -218,27 +263,27 @@ PipelineResults Pipeline::run() {
 
   // --- Stage 1: idle capture (§3.1) -----------------------------------
   {
-    StageTimer stage("lab_boot", lab_->loop());
+    StageTimer stage(stages::kLabBoot, lab_->loop());
     lab_->start_all();
   }
-  record_stage("lab_boot", capture_hash.hex());
+  record_stage(stages::kLabBoot, capture_hash.hex());
   {
-    StageTimer stage("idle", lab_->loop());
+    StageTimer stage(stages::kIdle, lab_->loop());
     lab_->run_idle(config_.idle_duration);
   }
-  record_stage("idle", capture_hash.hex());
+  record_stage(stages::kIdle, capture_hash.hex());
 
   // --- Stage 2: interactions (§3.1) ------------------------------------
   if (config_.interactions > 0) {
-    StageTimer stage("interactions", lab_->loop());
+    StageTimer stage(stages::kInteractions, lab_->loop());
     lab_->run_interactions(config_.interactions);
-    record_stage("interactions", capture_hash.hex());
+    record_stage(stages::kInteractions, capture_hash.hex());
   }
 
   // --- Stage 3: passive analyses (§4.1, §5.1, C.2, D.2) ----------------
   {
-    StageTimer stage("classify", lab_->loop());
-    guarded("classify", [&] {
+    StageTimer stage(stages::kClassify, lab_->loop());
+    guarded(stages::kClassify, [&] {
       if (streaming) {
         // The folds already ran at tap time; finish() flushes the cache
         // (remaining flows complete in creation order — the batch flow
@@ -273,14 +318,37 @@ PipelineResults Pipeline::run() {
            [&] { results.crossval = cross_validate(flows, store, pool); },
            [&] { results.responses = correlate_responses(store); }});
       results.flows = flows.size();
+      // Watch-layer flow signals: the batch twin of the streaming cache
+      // flush. FlowTable keeps flows in first-seen order — exactly the
+      // cache's creation-order flush — and the condensed record carries the
+      // same accounting the cache would have accumulated, so the resulting
+      // alert events (and the "watch" stage hash) match streaming mode
+      // byte-for-byte.
+      if (watcher != nullptr) {
+        for (const Flow& flow : flows) {
+          FlowRecord record;
+          record.key = flow.key;
+          record.first_seen = flow.first_seen();
+          record.last_seen = flow.last_seen();
+          record.packets = flow.packets.size();
+          for (const FlowPacket& packet : flow.packets) {
+            if (packet.from_client)
+              ++record.client_packets;
+            else
+              ++record.server_packets;
+          }
+          record.bytes = flow.byte_count();
+          watcher->on_flow(record, PruneReason::kFlush);
+        }
+      }
     });
-    record_stage("classify", hash_classify_stage(results));
+    record_stage(stages::kClassify, hash_classify_stage(results));
   }
 
   // --- Stage 4: active scan + vulnerability audit (§4.2, §5.2) ----------
   if (config_.run_scan) {
-    StageTimer stage("scan", lab_->loop());
-    guarded("scan", [&] {
+    StageTimer stage(stages::kScan, lab_->loop());
+    guarded(stages::kScan, [&] {
       Host scan_box(lab_->network(), MacAddress::from_u64(0x02a0fc0000aaull),
                     "scanbox");
       scan_box.set_static_ip(Ipv4Address(192, 168, 10, 251));
@@ -293,8 +361,8 @@ PipelineResults Pipeline::run() {
             const std::string label =
                 device->spec().vendor + " " + device->spec().model;
             results.degraded.push_back(
-                {"scan", label, "no IPv4 lease at scan time"});
-            degraded_counter("scan").inc();
+                {stages::kScan, label, "no IPv4 lease at scan time"});
+            degraded_counter(stages::kScan).inc();
             ROOMNET_LOG(kWarn, "scan", "target_unreachable",
                         kv("device", label),
                         kv("reason", "no IPv4 lease at scan time"));
@@ -315,9 +383,9 @@ PipelineResults Pipeline::run() {
           if (report.responded_tcp || report.responded_udp ||
               report.responded_ip)
             continue;
-          results.degraded.push_back({"scan", report.target.label,
+          results.degraded.push_back({stages::kScan, report.target.label,
                                       "silent under scan despite retries"});
-          degraded_counter("scan").inc();
+          degraded_counter(stages::kScan).inc();
           ROOMNET_LOG(kWarn, "scan", "target_silent",
                       kv("device", report.target.label),
                       kv("reason", "silent under scan despite retries"));
@@ -330,13 +398,13 @@ PipelineResults Pipeline::run() {
       results.audits = prober.audits();
       results.vulnerabilities = scan_vulnerabilities(results.audits, pool);
     });
-    record_stage("scan", hash_scan_stage(results));
+    record_stage(stages::kScan, hash_scan_stage(results));
   }
 
   // --- Stage 5: app campaign (§3.2, §6.1, §6.2) -------------------------
   if (config_.app_sample > 0) {
-    StageTimer stage("apps", lab_->loop());
-    guarded("apps", [&] {
+    StageTimer stage(stages::kApps, lab_->loop());
+    guarded(stages::kApps, [&] {
       Rng app_rng = lab_->rng().fork("app-dataset");
       const AppDataset dataset = generate_app_dataset(app_rng);
       AppRunner runner(*lab_);
@@ -356,8 +424,8 @@ PipelineResults Pipeline::run() {
           if (spec.platform == MobilePlatform::kAndroid && scans &&
               record.devices_discovered == 0) {
             results.degraded.push_back(
-                {"apps", spec.package, "discovery scans returned no devices"});
-            degraded_counter("apps").inc();
+                {stages::kApps, spec.package, "discovery scans returned no devices"});
+            degraded_counter(stages::kApps).inc();
             ROOMNET_LOG(kWarn, "apps", "discovery_empty",
                         kv("package", spec.package),
                         kv("reason", "discovery scans returned no devices"));
@@ -367,24 +435,24 @@ PipelineResults Pipeline::run() {
       results.app_stats = summarize_campaign(records);
       results.exfiltration = detect_exfiltration(records);
     });
-    record_stage("apps", hash_apps_stage(results));
+    record_stage(stages::kApps, hash_apps_stage(results));
   }
 
   // --- Stage 6: crowdsourced entropy analysis (§6.3) --------------------
   if (config_.run_crowd) {
-    StageTimer stage("crowd", lab_->loop());
-    guarded("crowd", [&] {
+    StageTimer stage(stages::kCrowd, lab_->loop());
+    guarded(stages::kCrowd, [&] {
       Rng crowd_rng(config_.seed ^ 0xc0ffee);
       const InspectorDataset dataset = generate_inspector_dataset(crowd_rng);
       results.fingerprints = fingerprint_households(dataset, pool);
     });
-    record_stage("crowd", hash_crowd_stage(results));
+    record_stage(stages::kCrowd, hash_crowd_stage(results));
   }
 
   // Churn ledger: every outage the run absorbed, in deterministic order.
   // Bracketed as a stage so perf.json covers every stage the manifest names.
   {
-    StageTimer stage("degraded", lab_->loop());
+    StageTimer stage(stages::kDegraded, lab_->loop());
     if (churn_ != nullptr) {
       churn_->detach();
       for (const auto& event : churn_->log()) {
@@ -400,7 +468,26 @@ PipelineResults Pipeline::run() {
   }
   // The degradation ledger is itself a manifest stage: churn outages and
   // stage losses under faults must replay identically across thread counts.
-  record_stage("degraded", hash_degraded_ledger(results.degraded));
+  record_stage(stages::kDegraded, hash_degraded_ledger(results.degraded));
+
+  // --- Watch: close the in-network timeline -----------------------------
+  // Final rule sweep (lingering alerts resolve, absence rules get one last
+  // look), then the merged per-device rings become the run's event stream.
+  // Its jsonl serialization is the stage hash, so `roomnet-audit diff`
+  // names "watch" the moment any timeline byte moves.
+  if (watcher != nullptr) {
+    {
+      StageTimer stage(stages::kWatch, lab_->loop());
+      results.watch = watcher->finish();
+      ROOMNET_LOG(kInfo, "watch", "timeline",
+                  kv("events", results.watch.events_emitted),
+                  kv("kept",
+                     static_cast<std::uint64_t>(results.watch.events.size())),
+                  kv("dropped", results.watch.events_dropped),
+                  kv("devices", results.watch.devices_tracked));
+    }
+    record_stage(stages::kWatch, watch::hash_events(results.watch.events));
+  }
   results.profile = prof::Profiler::global().finish();
 
   results.manifest = manifest.finish();
@@ -421,6 +508,10 @@ PipelineResults Pipeline::run() {
                     obs::to_json(results.manifest));
     write_text_file(config_.telemetry_out + "/resources.json",
                     obs::resources_to_json(results.manifest));
+    // The in-network event timeline, next to the manifest that hashes it.
+    if (watcher != nullptr)
+      write_text_file(config_.telemetry_out + "/events.jsonl",
+                      watch::events_to_jsonl(results.watch.events));
     // This run's slice of the global ledger (empty file when logging is off
     // — CI uploads the artifact unconditionally).
     std::vector<obs::LogRecord> run_logs;

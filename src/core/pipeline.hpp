@@ -21,6 +21,7 @@
 #include "scan/vuln.hpp"
 #include "stream/stream.hpp"
 #include "testbed/lab.hpp"
+#include "watch/watch.hpp"
 
 namespace roomnet {
 
@@ -76,6 +77,11 @@ struct PipelineConfig {
   /// Flow-cache bounds for streaming mode (ignored in batch mode). The
   /// default never evicts, preserving batch equivalence.
   stream::StreamConfig stream;
+  /// In-network observability (on by default): per-device event timelines
+  /// and the streaming alert-rule engine, fed from the same tap in both
+  /// modes. The timeline is hashed into the manifest as the "watch" stage
+  /// and spilled to `telemetry_out/events.jsonl` (DESIGN.md §14).
+  watch::WatchConfig watch;
 };
 
 struct PipelineResults {
@@ -115,6 +121,12 @@ struct PipelineResults {
   /// host-dependent (DESIGN.md §11). Written to `telemetry_out/perf.json`
   /// (plus trace.folded / alloc.folded) when telemetry is enabled.
   prof::ProfReport profile;
+  /// The in-network event timeline + alert lifecycle (empty when
+  /// config.watch.enabled is false). The merged event stream serializes to
+  /// `telemetry_out/events.jsonl` and hashes into the manifest's "watch"
+  /// stage — byte-identical across thread counts and (non-evicting)
+  /// pipeline modes.
+  watch::WatchReport watch;
 };
 
 class Pipeline {

@@ -67,6 +67,20 @@ std::string pipeline_config_digest(const PipelineConfig& config) {
     h.i64(config.stream.idle_timeout.us());
     h.i64(config.stream.established_timeout.us());
   }
+  // Watch knobs fold in only when customized: the stock config keeps every
+  // historical digest stable (and batch/streaming keep sharing one), while
+  // a different ruleset/ring/tick — which changes the "watch" stage hash —
+  // is correctly a different configuration.
+  if (!config.watch.is_default()) {
+    h.str("watch");
+    h.boolean(config.watch.enabled);
+    h.u64(config.watch.ring_capacity);
+    h.str(config.watch.rules);
+    h.i64(config.watch.tick.us());
+    h.i64(config.watch.burst_window.us());
+    h.i64(config.watch.burst_threshold);
+    h.u64(config.watch.max_tracked_per_device);
+  }
   return h.hex();
 }
 

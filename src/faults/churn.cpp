@@ -43,6 +43,7 @@ void ChurnDriver::tick() {
     host->set_online(false);
     offline_counter().inc();
     log_.push_back({loop_->now(), host->mac(), host->label(), false});
+    if (observer_) observer_(log_.back());
     ROOMNET_LOG(kInfo, "churn", "device_offline", kv("device", host->label()),
                 kv("downtime_s", plan_->config().churn_downtime_s));
     loop_->schedule_in(downtime, [this, host] {
@@ -50,6 +51,7 @@ void ChurnDriver::tick() {
       online_counter().inc();
       log_.push_back(
           {host->loop().now(), host->mac(), host->label(), true});
+      if (observer_) observer_(log_.back());
       ROOMNET_LOG(kInfo, "churn", "device_online", kv("device", host->label()));
     });
   }

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,13 @@ class ChurnDriver {
   void attach(EventLoop& loop, std::vector<Host*> hosts);
   void detach();
 
+  /// Transition observer, invoked synchronously (sim thread, tick order)
+  /// right after each ChurnEvent is logged — the watch layer's live feed.
+  /// Install before attach(); the driver never outlives the callback target.
+  void set_observer(std::function<void(const ChurnEvent&)> observer) {
+    observer_ = std::move(observer);
+  }
+
   [[nodiscard]] const std::vector<ChurnEvent>& log() const { return log_; }
 
  private:
@@ -45,6 +53,7 @@ class ChurnDriver {
   EventLoop* loop_ = nullptr;
   std::vector<Host*> hosts_;
   std::vector<ChurnEvent> log_;
+  std::function<void(const ChurnEvent&)> observer_;
   std::uint64_t handle_ = 0;
 };
 

@@ -57,6 +57,26 @@ void Switch::transmit(BytesView frame, const NetworkNode* sender) {
   SimTime extra_delay;
   if (fault_hook_) {
     const FrameFate fate = fault_hook_(shared->size());
+    if (!fate_taps_.empty()) {
+      const bool anomalous =
+          fate.drop || fate.copies != 1 || fate.extra_delay.us() > 0 ||
+          (fate.truncate_to != 0 && fate.truncate_to < shared->size()) ||
+          (fate.corrupt_mask != 0 && fate.corrupt_at < shared->size());
+      if (anomalous) {
+        // Sender MAC: from the node when known, else the frame's source
+        // field (bytes 6..11).
+        MacAddress src;
+        if (sender != nullptr) {
+          src = sender->mac();
+        } else {
+          std::uint64_t v = 0;
+          for (std::size_t i = 6; i < 12; ++i) v = (v << 8) | frame[i];
+          src = MacAddress::from_u64(v);
+        }
+        for (const auto& tap : fate_taps_)
+          tap(loop_->now(), src, fate, shared->size());
+      }
+    }
     if (fate.drop) return;
     if (fate.truncate_to != 0 && fate.truncate_to < shared->size())
       shared->resize(fate.truncate_to);

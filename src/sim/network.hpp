@@ -70,12 +70,21 @@ class Switch {
   /// thread — so a deterministic hook yields a deterministic fault pattern.
   using FaultHook = std::function<FrameFate(std::size_t frame_size)>;
 
+  /// Fault-verdict tap: invoked at transmit time (sim thread, transmit
+  /// order) for every frame whose fate deviates from the default — i.e.
+  /// only when a fault hook is installed AND it actually mutated the frame,
+  /// so clean runs pay nothing and stay bit-for-bit unchanged. `src` is the
+  /// transmitting node's MAC and `frame_size` the pre-truncation size.
+  using FateTap = std::function<void(SimTime, MacAddress src,
+                                     const FrameFate&, std::size_t frame_size)>;
+
   explicit Switch(EventLoop& loop) : loop_(&loop) {}
 
   void attach(NetworkNode& node);
   void detach(const NetworkNode& node);
   void add_tap(Tap tap) { taps_.push_back(std::move(tap)); }
   void add_packet_tap(PacketTap tap) { packet_taps_.push_back(std::move(tap)); }
+  void add_fate_tap(FateTap tap) { fate_taps_.push_back(std::move(tap)); }
   /// Installs (or, with an empty hook, removes) the fault-injection hook.
   /// Without a hook the switch is the historical lossless network.
   void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
@@ -98,6 +107,7 @@ class Switch {
   std::unordered_map<MacAddress, NetworkNode*> by_mac_;
   std::vector<Tap> taps_;
   std::vector<PacketTap> packet_taps_;
+  std::vector<FateTap> fate_taps_;
   FaultHook fault_hook_;
   std::uint64_t frames_ = 0;
 };

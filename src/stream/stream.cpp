@@ -22,11 +22,12 @@ void StreamAnalyzer::on_packet(SimTime at, const PacketView& packet) {
   cache_.add(at, packet);
 }
 
-void StreamAnalyzer::on_flow(const FlowRecord& record, PruneReason /*reason*/) {
+void StreamAnalyzer::on_flow(const FlowRecord& record, PruneReason reason) {
   ++flows_completed_;
   // The synthetic flow's payload views alias `record`, which outlives this
   // call — classify immediately, keep nothing.
   crossval_.on_flow(record.to_flow());
+  if (flow_observer_) flow_observer_(record, reason);
 }
 
 StreamResults StreamAnalyzer::finish() {

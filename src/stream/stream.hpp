@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <set>
 
 #include "analysis/exposure.hpp"
@@ -76,6 +77,14 @@ class StreamAnalyzer {
   /// returns every analysis result. Call once.
   [[nodiscard]] StreamResults finish();
 
+  /// Secondary consumer of completed flows (the watch layer): invoked after
+  /// the analyzer's own fold, same sim-thread/creation-order guarantees as
+  /// the cache sink. Install before the first packet.
+  void set_flow_observer(
+      std::function<void(const FlowRecord&, PruneReason)> observer) {
+    flow_observer_ = std::move(observer);
+  }
+
   [[nodiscard]] const FlowCache& cache() const { return cache_; }
   [[nodiscard]] std::size_t packets() const { return packets_; }
 
@@ -89,6 +98,7 @@ class StreamAnalyzer {
   ResponseCorrelator responses_;
   std::size_t flows_completed_ = 0;
   std::size_t packets_ = 0;
+  std::function<void(const FlowRecord&, PruneReason)> flow_observer_;
   FlowCache cache_;  // last member: its sink captures `this`
 };
 

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <utility>
 
 namespace roomnet::telemetry {
 
@@ -91,8 +92,42 @@ std::string json_labels(const Labels& labels) {
 
 }  // namespace
 
+std::uint64_t histogram_quantile(const MetricSnapshot& snapshot, double q) {
+  if (snapshot.kind != MetricKind::kHistogram || snapshot.count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(snapshot.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < snapshot.buckets.size(); ++i) {
+    if (snapshot.buckets[i] == 0) continue;
+    const std::uint64_t next = cumulative + snapshot.buckets[i];
+    if (static_cast<double>(next) >= target) {
+      // Bucket i holds values with bit_width == i: [2^(i-1), 2^i - 1]
+      // (bucket 0 is exactly 0). The overflow bucket has no finite upper
+      // bound, so it reports its lower edge.
+      if (i == 0) return 0;
+      const std::uint64_t lower = std::uint64_t{1} << (i - 1);
+      if (i + 1 == snapshot.buckets.size()) return lower;
+      const std::uint64_t upper = Histogram::bucket_upper_bound(i);
+      const double fraction =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(snapshot.buckets[i]);
+      return lower + static_cast<std::uint64_t>(
+                         fraction * static_cast<double>(upper - lower));
+    }
+    cumulative = next;
+  }
+  return Histogram::bucket_upper_bound(snapshot.buckets.size() - 1);
+}
+
 std::string to_prometheus(const Registry& registry) {
   std::string out;
+  // Derived quantile families, one buffer per level so every `<name>_pXX`
+  // family's samples stay contiguous; appended after the primaries.
+  const std::pair<const char*, double> kLevels[] = {
+      {"_p50", 0.50}, {"_p95", 0.95}, {"_p99", 0.99}};
+  std::string quantiles[3];
+  std::string last_quantile_typed;
   std::string last_typed;  // emit each family's # TYPE line once
   for (const MetricSnapshot& m : registry.snapshot()) {
     if (m.name != last_typed) {
@@ -124,10 +159,21 @@ std::string to_prometheus(const Registry& registry) {
         out += m.name + "_sum" + prom_label_block(m.labels) + buf;
         std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", m.count);
         out += m.name + "_count" + prom_label_block(m.labels) + buf;
+        for (std::size_t level = 0; level < 3; ++level) {
+          if (m.name != last_quantile_typed)
+            quantiles[level] +=
+                "# TYPE " + m.name + kLevels[level].first + " gauge\n";
+          std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n",
+                        histogram_quantile(m, kLevels[level].second));
+          quantiles[level] +=
+              m.name + kLevels[level].first + prom_label_block(m.labels) + buf;
+        }
+        last_quantile_typed = m.name;
         break;
       }
     }
   }
+  for (const std::string& block : quantiles) out += block;
   return out;
 }
 

@@ -1,0 +1,358 @@
+#include "watch/rules.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+namespace roomnet::watch {
+
+namespace {
+
+constexpr const char* kKindNames[4] = {"threshold", "rate", "absence", "new"};
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r'))
+    s.remove_suffix(1);
+  return s;
+}
+
+/// Splits a rule line into tokens, treating '(' ')' ',' '>' as whitespace.
+/// ':' survives inside tokens so "event:scan_probe" stays whole.
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char c : line) {
+    if (c == ' ' || c == '\t' || c == '(' || c == ')' || c == ',' ||
+        c == '>') {
+      if (!current.empty()) tokens.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::optional<std::int64_t> parse_int(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  return v;
+}
+
+/// "<seconds>s" or "<minutes>m".
+std::optional<SimTime> parse_window(const std::string& s) {
+  if (s.size() < 2) return std::nullopt;
+  const char unit = s.back();
+  const auto n = parse_int(s.substr(0, s.size() - 1));
+  if (!n || *n < 0) return std::nullopt;
+  if (unit == 's') return SimTime::from_seconds(*n);
+  if (unit == 'm') return SimTime::from_minutes(*n);
+  return std::nullopt;
+}
+
+bool has_prefix(const std::string& s, std::string_view prefix) {
+  return s.size() > prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace
+
+const char* to_string(RuleKind kind) {
+  const auto i = static_cast<std::size_t>(kind);
+  return i < 4 ? kKindNames[i] : "unknown";
+}
+
+std::string default_rules() {
+  return
+      "# Built-in roomnet::watch ruleset (DESIGN.md §14).\n"
+      "alert port_scan_fanout: rate(event:scan_probe, 30s) > 20 "
+      "severity critical\n"
+      "alert discovery_storm: rate(event:discovery_burst, 60s) > 10 "
+      "severity notice\n"
+      "alert exfil_upload_ratio: threshold(flow:upload_ratio_pct) > 90 "
+      "severity warning\n"
+      "alert dns_new_resolver: new(event:dns_query, resolver) "
+      "severity warning\n"
+      "alert device_silent: absence(device_activity, 900s) severity notice\n"
+      "alert offline_frames: "
+      "threshold(metric:roomnet_faults_frames_offline_total) > 0 "
+      "severity warning\n";
+}
+
+RuleParse parse_rules(std::string_view text) {
+  RuleParse result;
+  int line_no = 0;
+  std::size_t pos = 0;
+  const auto fail = [&](const std::string& why) {
+    result.error = "line " + std::to_string(line_no) + ": " + why;
+    result.rules.clear();
+    return result;
+  };
+  while (pos <= text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (const std::size_t hash = line.find('#'); hash != std::string_view::npos)
+      line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) {
+      if (pos > text.size()) break;
+      continue;
+    }
+    std::vector<std::string> tokens = tokenize(line);
+    // Shape: alert <name>: <kind> <source> [arg] [threshold] severity <sev>
+    if (tokens.size() < 3 || tokens[0] != "alert") return fail("expected 'alert <name>: ...'");
+    AlertRule rule;
+    rule.name = tokens[1];
+    std::size_t i = 2;
+    if (!rule.name.empty() && rule.name.back() == ':') {
+      rule.name.pop_back();
+    } else if (tokens[i] == ":") {
+      ++i;
+    } else {
+      return fail("expected ':' after the rule name");
+    }
+    if (rule.name.empty()) return fail("empty rule name");
+    if (i >= tokens.size()) return fail("missing rule body");
+    const std::string& kind = tokens[i++];
+    const auto need = [&](std::size_t n, const char* what) {
+      return i + n <= tokens.size() ? nullptr : what;
+    };
+    if (kind == "rate") {
+      if (need(3, "")) return fail("rate(source, window) > n expected");
+      rule.kind = RuleKind::kRate;
+      rule.source = tokens[i++];
+      const auto window = parse_window(tokens[i++]);
+      const auto threshold = parse_int(tokens[i++]);
+      if (!window || !threshold) return fail("bad window or threshold");
+      if (!has_prefix(rule.source, "event:"))
+        return fail("rate() needs an event: source");
+      rule.window = *window;
+      rule.threshold = *threshold;
+    } else if (kind == "threshold") {
+      if (need(2, "")) return fail("threshold(source) > n expected");
+      rule.kind = RuleKind::kThreshold;
+      rule.source = tokens[i++];
+      const auto threshold = parse_int(tokens[i++]);
+      if (!threshold) return fail("bad threshold value");
+      if (!has_prefix(rule.source, "metric:") &&
+          rule.source != "flow:upload_ratio_pct")
+        return fail("threshold() needs metric:<name> or flow:upload_ratio_pct");
+      rule.threshold = *threshold;
+    } else if (kind == "new") {
+      if (need(2, "")) return fail("new(source, field) expected");
+      rule.kind = RuleKind::kNewLabel;
+      rule.source = tokens[i++];
+      rule.field = tokens[i++];
+      if (!has_prefix(rule.source, "event:"))
+        return fail("new() needs an event: source");
+    } else if (kind == "absence") {
+      if (need(2, "")) return fail("absence(device_activity, window) expected");
+      rule.kind = RuleKind::kAbsence;
+      rule.source = tokens[i++];
+      const auto window = parse_window(tokens[i++]);
+      if (!window || window->us() <= 0) return fail("bad absence window");
+      if (rule.source != "device_activity")
+        return fail("absence() needs the device_activity source");
+      rule.window = *window;
+    } else {
+      return fail("unknown rule kind '" + kind + "'");
+    }
+    if (i + 2 != tokens.size() || tokens[i] != "severity")
+      return fail("expected trailing 'severity <level>'");
+    const auto severity = parse_severity(tokens[i + 1]);
+    if (!severity) return fail("unknown severity '" + tokens[i + 1] + "'");
+    rule.severity = *severity;
+    for (const AlertRule& existing : result.rules)
+      if (existing.name == rule.name)
+        return fail("duplicate rule name '" + rule.name + "'");
+    // Event-sourced rules must name a real event type, or they could never
+    // match and the config is almost certainly a typo.
+    if (has_prefix(rule.source, "event:") &&
+        !parse_event_type(std::string_view(rule.source).substr(6)))
+      return fail("unknown event type in '" + rule.source + "'");
+    result.rules.push_back(std::move(rule));
+    if (pos > text.size()) break;
+  }
+  return result;
+}
+
+RuleEngine::RuleEngine(std::vector<AlertRule> rules, SimTime tick_period,
+                       Emit emit)
+    : rules_(std::move(rules)),
+      states_(rules_.size()),
+      event_sources_(rules_.size()),
+      tick_period_(tick_period),
+      next_tick_(tick_period),
+      emit_(std::move(emit)) {
+  listened_types_.fill(false);
+  for (std::size_t i = 0; i < rules_.size(); ++i)
+    if (rules_[i].source.rfind("event:", 0) == 0) {
+      event_sources_[i] =
+          parse_event_type(std::string_view(rules_[i].source).substr(6));
+      if (event_sources_[i])
+        listened_types_[static_cast<std::size_t>(*event_sources_[i])] = true;
+    }
+}
+
+void RuleEngine::fire(SimTime at, std::size_t index, MacAddress device,
+                      std::int64_t value, std::string detail) {
+  RuleState& state = states_[index];
+  state.firing.insert(device);
+  if (rules_[index].kind == RuleKind::kAbsence) ++absence_firing_;
+  ++state.fired;
+  if (emit_)
+    emit_(at, Transition{&rules_[index], device, true, value,
+                         std::move(detail)});
+}
+
+void RuleEngine::resolve(SimTime at, std::size_t index, MacAddress device,
+                         std::int64_t value) {
+  RuleState& state = states_[index];
+  state.firing.erase(device);
+  if (rules_[index].kind == RuleKind::kAbsence) --absence_firing_;
+  ++state.resolved;
+  if (emit_) emit_(at, Transition{&rules_[index], device, false, value, {}});
+}
+
+void RuleEngine::on_event(const NetEvent& event) {
+  advance(event.at);
+  if (!listened_types_[static_cast<std::size_t>(event.type)]) return;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const AlertRule& rule = rules_[i];
+    if (event_sources_[i] != event.type) continue;
+    RuleState& state = states_[i];
+    if (rule.kind == RuleKind::kRate) {
+      std::deque<SimTime>& window = state.windows[event.device];
+      window.push_back(event.at);
+      while (!window.empty() && event.at - window.front() > rule.window)
+        window.pop_front();
+      const auto count = static_cast<std::int64_t>(window.size());
+      if (count > rule.threshold && !state.firing.contains(event.device))
+        fire(event.at, i, event.device, count, {});
+    } else if (rule.kind == RuleKind::kNewLabel) {
+      for (const auto& [key, value] : event.fields) {
+        if (key != rule.field) continue;
+        if (state.seen.insert(value).second) {
+          state.last_offense[event.device] = event.at;
+          if (!state.firing.contains(event.device))
+            fire(event.at, i, event.device, 1, rule.field + "=" + value);
+        }
+        break;
+      }
+    }
+  }
+}
+
+void RuleEngine::on_flow_signal(SimTime at, MacAddress device,
+                                const std::string& flow,
+                                std::int64_t upload_ratio_pct) {
+  advance(at);
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const AlertRule& rule = rules_[i];
+    if (rule.kind != RuleKind::kThreshold ||
+        rule.source != "flow:upload_ratio_pct")
+      continue;
+    if (upload_ratio_pct <= rule.threshold) continue;
+    RuleState& state = states_[i];
+    state.last_offense[device] = at;
+    if (!state.firing.contains(device))
+      fire(at, i, device, upload_ratio_pct, flow);
+  }
+}
+
+void RuleEngine::on_activity(SimTime at, MacAddress device) {
+  advance(at);
+  SimTime*& slot = activity_index_.insert(device.to_u64() + 1);
+  if (slot == nullptr) slot = &last_activity_[device];
+  *slot = at;
+  if (absence_firing_ == 0) return;  // nothing can resolve; skip the scan
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].kind != RuleKind::kAbsence) continue;
+    if (states_[i].firing.contains(device)) resolve(at, i, device, 0);
+  }
+}
+
+void RuleEngine::catch_up(SimTime at) {
+  while (next_tick_ <= at) {
+    tick(next_tick_);
+    next_tick_ = next_tick_ + tick_period_;
+  }
+}
+
+void RuleEngine::tick(SimTime now) {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const AlertRule& rule = rules_[i];
+    RuleState& state = states_[i];
+    switch (rule.kind) {
+      case RuleKind::kRate:
+        // Windows drain with time: resolve devices back under the limit.
+        for (auto& [device, window] : state.windows) {
+          while (!window.empty() && now - window.front() > rule.window)
+            window.pop_front();
+          if (state.firing.contains(device) &&
+              static_cast<std::int64_t>(window.size()) <= rule.threshold)
+            resolve(now, i, device, static_cast<std::int64_t>(window.size()));
+        }
+        break;
+      case RuleKind::kThreshold:
+        if (rule.source == "flow:upload_ratio_pct") {
+          // Pulse semantics: an offending flow keeps the instance firing
+          // until a full tick passes with no further offense.
+          std::vector<MacAddress> done;
+          for (const MacAddress device : state.firing)
+            if (state.last_offense[device] < now) done.push_back(device);
+          for (const MacAddress device : done) resolve(now, i, device, 0);
+        } else if (metrics_) {
+          const std::string name = rule.source.substr(7);  // "metric:"
+          const auto value = metrics_(name);
+          if (!value) break;
+          const MacAddress network{};  // all-zero pseudo-device
+          if (*value > rule.threshold && !state.firing.contains(network))
+            fire(now, i, network, *value, rule.source);
+          else if (*value <= rule.threshold && state.firing.contains(network))
+            resolve(now, i, network, *value);
+        }
+        break;
+      case RuleKind::kAbsence:
+        for (const auto& [device, last] : last_activity_) {
+          if (now - last < rule.window) continue;
+          if (state.firing.contains(device)) continue;
+          fire(now, i, device, (now - last).seconds(), {});
+        }
+        break;
+      case RuleKind::kNewLabel: {
+        std::vector<MacAddress> done;
+        for (const MacAddress device : state.firing)
+          if (state.last_offense[device] < now) done.push_back(device);
+        for (const MacAddress device : done) resolve(now, i, device, 0);
+        break;
+      }
+    }
+  }
+}
+
+std::vector<AlertRuleSummary> RuleEngine::finish(SimTime at) {
+  advance(at);
+  tick(at);  // settle resolutions up to the very end of the run
+  std::vector<AlertRuleSummary> summaries;
+  summaries.reserve(rules_.size());
+  for (std::size_t i = 0; i < rules_.size(); ++i)
+    summaries.push_back({rules_[i].name, rules_[i].severity, states_[i].fired,
+                         states_[i].resolved,
+                         static_cast<std::uint64_t>(states_[i].firing.size())});
+  std::sort(summaries.begin(), summaries.end(),
+            [](const AlertRuleSummary& a, const AlertRuleSummary& b) {
+              return a.name < b.name;
+            });
+  return summaries;
+}
+
+}  // namespace roomnet::watch

@@ -15,6 +15,7 @@
 #include "netcore/packet_view.hpp"
 #include "obs/manifest.hpp"
 #include "stream/stream.hpp"
+#include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace roomnet {
@@ -310,6 +311,83 @@ TEST(StreamFlowCache, PruneCountersReachTelemetry) {
   }
   EXPECT_GT(memcap_counter.value(), before);
   EXPECT_GT(registry.gauge("roomnet_flow_cache_peak_flows").value(), 0);
+}
+
+TEST(StreamFlowCache, EveryPruneReasonSurvivesIntoExportedReport) {
+  // The flow-cache accounting is part of the exported observability surface:
+  // after driving all five prune reasons, each reason-labeled counter must
+  // show up — non-zero — in both the Prometheus text and the JSON mirror.
+  auto& registry = telemetry::Registry::global();
+  const Ipv4Address a(192, 168, 10, 5), b(192, 168, 10, 6);
+  const auto flow_starter = [&](FlowCache& cache, std::uint16_t sport,
+                                SimTime at) {
+    const Packet p = udp_packet(a, sport, b, 80, "x");
+    cache.add(at, as_view(p));
+  };
+  {
+    FlowCacheConfig config;
+    config.idle_timeout = SimTime::from_seconds(1);
+    FlowCache cache(config, {});
+    flow_starter(cache, 7000, SimTime::from_ms(0));
+    flow_starter(cache, 7001, SimTime::from_seconds(10));  // 7000 idles out
+  }
+  {
+    FlowCacheConfig config;
+    config.established_timeout = SimTime::from_seconds(1);
+    FlowCache cache(config, {});
+    flow_starter(cache, 7000, SimTime::from_ms(0));
+    flow_starter(cache, 7000, SimTime::from_seconds(5));  // lifetime cap
+  }
+  {
+    FlowCacheConfig config;
+    config.memcap_bytes = 600;
+    FlowCache cache(config, {});
+    const std::string big(200, 'x');
+    for (std::uint16_t i = 0; i < 3; ++i) {
+      const Packet p =
+          udp_packet(a, static_cast<std::uint16_t>(7100 + i), b, 80, big);
+      cache.add(SimTime::from_ms(i), as_view(p));
+    }
+  }
+  {
+    FlowCacheConfig config;
+    config.max_flows = 1;
+    FlowCache cache(config, {});
+    flow_starter(cache, 7000, SimTime::from_ms(0));
+    flow_starter(cache, 7001, SimTime::from_ms(1));  // LRU victim for slot
+  }
+  {
+    FlowCache cache({}, {});
+    flow_starter(cache, 7000, SimTime::from_ms(0));
+    cache.flush();
+  }
+
+  const std::string prom = telemetry::to_prometheus(registry);
+  const std::string json = telemetry::to_json(registry);
+  for (const char* reason :
+       {"idle", "established", "memcap", "excess", "flush"}) {
+    EXPECT_GT(registry
+                  .counter("roomnet_flow_cache_prunes_total",
+                           {{"reason", reason}})
+                  .value(),
+              0u)
+        << reason;
+    const std::string prom_line = "roomnet_flow_cache_prunes_total{reason=\"" +
+                                  std::string(reason) + "\"}";
+    EXPECT_NE(prom.find(prom_line), std::string::npos) << reason;
+    // The sample value on that line must be non-zero (" 0\n" would mean the
+    // counter made it to the report in name only).
+    const std::size_t pos = prom.find(prom_line);
+    EXPECT_NE(prom.compare(pos + prom_line.size(), 3, " 0\n"), 0)
+        << "zero-valued " << reason << " counter in metrics.prom";
+    const std::string json_needle =
+        "\"labels\":{\"reason\":\"" + std::string(reason) + "\"}";
+    EXPECT_NE(json.find(json_needle), std::string::npos) << reason;
+  }
+  // Gauges ride along: occupancy/peak accounting is in the same report.
+  EXPECT_NE(prom.find("roomnet_flow_cache_peak_flows"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE roomnet_flow_cache_prunes_total counter"),
+            std::string::npos);
 }
 
 // --------------------------------------------------------------- StreamParity

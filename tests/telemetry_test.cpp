@@ -198,6 +198,80 @@ TEST(Exporters, JsonGoldenString) {
   EXPECT_EQ(to_json(r), expected);
 }
 
+// --------------------------------------------------------------- Quantiles
+
+namespace {
+MetricSnapshot snapshot_of(const Registry& r, const std::string& name) {
+  for (const MetricSnapshot& m : r.snapshot())
+    if (m.name == name) return m;
+  ADD_FAILURE() << "no snapshot named " << name;
+  return {};
+}
+}  // namespace
+
+TEST(Exporters, HistogramQuantileInterpolatesWithinBucket) {
+  Registry r;
+  Histogram& h = r.histogram("roomnet_test_lat_us");
+  // 100 observations of 12: all mass in bucket 4, value range [8, 15].
+  for (int i = 0; i < 100; ++i) h.observe(12);
+  const MetricSnapshot m = snapshot_of(r, "roomnet_test_lat_us");
+  // target rank q*100 lands fraction q into the bucket: 8 + q * (15 - 8).
+  EXPECT_EQ(histogram_quantile(m, 0.50), 11u);
+  EXPECT_EQ(histogram_quantile(m, 0.99), 14u);
+  EXPECT_EQ(histogram_quantile(m, 1.00), 15u);
+}
+
+TEST(Exporters, HistogramQuantileWalksCumulativeAcrossBuckets) {
+  Registry r;
+  Histogram& h = r.histogram("roomnet_test_walk_us");
+  h.observe(1);                                  // bucket 1: 1 obs
+  h.observe(2);                                  // bucket 2: 2 obs
+  h.observe(3);
+  for (std::uint64_t v = 4; v <= 7; ++v) h.observe(v);  // bucket 3: 4 obs
+  const MetricSnapshot m = snapshot_of(r, "roomnet_test_walk_us");
+  // count=7; rank 3.5 lands 0.125 into bucket 3's [4, 7] span.
+  EXPECT_EQ(histogram_quantile(m, 0.50), 4u);
+  // rank 0.7 is inside bucket 1 (cumulative 1 >= 0.7): exactly 1.
+  EXPECT_EQ(histogram_quantile(m, 0.10), 1u);
+}
+
+TEST(Exporters, HistogramQuantileEdgeCases) {
+  Registry r;
+  Histogram& empty = r.histogram("roomnet_test_empty_us");
+  (void)empty;
+  EXPECT_EQ(histogram_quantile(snapshot_of(r, "roomnet_test_empty_us"), 0.5),
+            0u);
+  // A counter snapshot is not a histogram: quantile is defined as 0.
+  r.counter("roomnet_test_not_hist_total").inc();
+  EXPECT_EQ(
+      histogram_quantile(snapshot_of(r, "roomnet_test_not_hist_total"), 0.5),
+      0u);
+  // The overflow bucket has no finite upper bound: clamp to its lower edge.
+  Histogram& sat = r.histogram("roomnet_test_sat_us");
+  sat.observe(~std::uint64_t{0});
+  EXPECT_EQ(histogram_quantile(snapshot_of(r, "roomnet_test_sat_us"), 0.99),
+            std::uint64_t{1} << (Histogram::kBuckets - 2));
+}
+
+TEST(Exporters, PrometheusEmitsQuantileGaugeFamilies) {
+  Registry r;
+  Histogram& h = r.histogram("roomnet_test_q_us", {{"stage", "idle"}});
+  for (int i = 0; i < 100; ++i) h.observe(12);
+  const std::string out = to_prometheus(r);
+  EXPECT_NE(out.find("# TYPE roomnet_test_q_us_p50 gauge\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("roomnet_test_q_us_p50{stage=\"idle\"} 11\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE roomnet_test_q_us_p95 gauge\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("roomnet_test_q_us_p99{stage=\"idle\"} 14\n"),
+            std::string::npos);
+  // Derived families come after the primaries, so the histogram's own
+  // sample group stays contiguous.
+  EXPECT_LT(out.find("roomnet_test_q_us_count"),
+            out.find("roomnet_test_q_us_p50"));
+}
+
 // ------------------------------------------------------------------ Tracer
 
 TEST(Tracer, DisabledByDefaultAndRecordsNothing) {
