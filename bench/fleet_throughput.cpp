@@ -1,0 +1,101 @@
+// Fleet throughput benchmark: the households/sec ledger. Runs the sharded
+// fleet driver twice in one process — a 2k-household warm-up phase that
+// populates the context pool's recycled arenas, then the 10k-household
+// measured phase — and reports throughput plus the RSS growth *slope*
+// between the two phases. With keep-capacity context recycling the slope is
+// ~0 bytes/household: per-household state lives in arenas that reach their
+// high-water mark during the first few hundred households and never grow
+// again, so fleet memory is O(threads), not O(households).
+//
+// Scalar naming feeds scripts/bench_guard.py's gate families:
+// fleet_peak_rss_mb sits under the rss gate (skipped across machine
+// shapes); fleet_arena_bytes_reserved under the alloc gate (deterministic,
+// always compared); wall_s under the time gate.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "fleet/fleet.hpp"
+#include "obs/manifest.hpp"
+
+using namespace roomnet;
+using namespace roomnet::bench;
+
+namespace {
+
+constexpr std::uint64_t kWarmHouseholds = 2000;
+constexpr std::uint64_t kHouseholds = 10000;
+
+fleet::FleetResults run_phase(std::uint64_t households,
+                              exec::TaskPool& pool) {
+  fleet::FleetConfig config;
+  config.seed = 42;
+  config.households = households;
+  return fleet::run_fleet(config, pool);
+}
+
+/// Sum of the capture-arena reserved-bytes gauge across nothing — the
+/// registry keeps one global gauge; after a fleet it reads the last
+/// published context's reservation, a deterministic per-context figure.
+std::int64_t arena_bytes_reserved() {
+  std::int64_t value = 0;
+  for (const auto& m : telemetry::Registry::global().snapshot()) {
+    if (m.name == "roomnet_capture_arena_bytes_reserved") value = m.gauge;
+  }
+  return value;
+}
+
+}  // namespace
+
+int main() {
+  header("fleet", "household-fleet throughput (sharded driver, 10k)");
+
+  exec::TaskPool pool;
+  std::printf("threads: %zu\n\n", pool.threads());
+
+  // Phase 1: warm-up. Context arenas reach their high-water marks here.
+  const fleet::FleetResults warm = run_phase(kWarmHouseholds, pool);
+  const double rss_after_warm_kb =
+      static_cast<double>(obs::peak_rss_kb());
+  std::printf("warm-up: %llu households at %.1f households/s "
+              "(%.0f kB peak RSS)\n",
+              static_cast<unsigned long long>(kWarmHouseholds),
+              warm.stats.households_per_sec, rss_after_warm_kb);
+
+  // Phase 2: the measured 10k fleet, on the already-warm context pool's
+  // process. Every byte of RSS growth past the warm-up high water is
+  // amortizable per-household cost — the slope the recycling eliminates.
+  const fleet::FleetResults results = run_phase(kHouseholds, pool);
+  const double rss_after_kb = static_cast<double>(obs::peak_rss_kb());
+  const double slope_bytes_per_household =
+      (rss_after_kb - rss_after_warm_kb) * 1024.0 /
+      static_cast<double>(kHouseholds);
+
+  std::printf("measured: %llu households at %.1f households/s "
+              "(%.2fs wall)\n",
+              static_cast<unsigned long long>(kHouseholds),
+              results.stats.households_per_sec, results.stats.wall_s);
+  std::printf("aggregates: %llu devices, %llu local packets, %llu flows\n",
+              static_cast<unsigned long long>(results.aggregates.devices),
+              static_cast<unsigned long long>(results.aggregates.packets),
+              static_cast<unsigned long long>(results.aggregates.flows));
+  std::printf("peak RSS: %.1f MB (slope %.1f bytes/household past "
+              "warm-up)\n",
+              rss_after_kb / 1024.0, slope_bytes_per_household);
+  std::printf("contexts: %llu created, %llu reuses\n",
+              static_cast<unsigned long long>(results.stats.contexts_created),
+              static_cast<unsigned long long>(results.stats.context_reuses));
+  std::printf("result_digest: %s\n",
+              results.manifest.result_digest.c_str());
+
+  scalar("fleet_households", static_cast<double>(kHouseholds));
+  scalar("fleet_households_per_sec", results.stats.households_per_sec);
+  scalar("fleet_peak_rss_mb", rss_after_kb / 1024.0);
+  scalar("fleet_rss_slope_bytes_per_household", slope_bytes_per_household);
+  scalar("fleet_arena_bytes_reserved",
+         static_cast<double>(arena_bytes_reserved()));
+  scalar("fleet_contexts_created",
+         static_cast<double>(results.stats.contexts_created));
+  scalar("fleet_context_reuses",
+         static_cast<double>(results.stats.context_reuses));
+  return 0;
+}

@@ -62,7 +62,7 @@ if [[ "${1:-}" == "--tsan" ]]; then
   # determinism tests.
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-          -R '^(ExecPool|ExecParallel|PipelineDeterminism|PipelineTelemetry|Faults|FrameStore|PacketView|CaptureStore|DecodeFrameView|Stream|Watch|FuzzRegressions)'
+          -R '^(ExecPool|ExecParallel|PipelineDeterminism|PipelineTelemetry|Faults|FrameStore|PacketView|CaptureStore|DecodeFrameView|Stream|Watch|Fleet|FuzzRegressions)'
   echo "== tsan checks passed =="
   exit 0
 fi

@@ -41,11 +41,12 @@ class ChunkedColumn {
   static constexpr std::size_t kChunk = 1024;
 
   T& push(const T& value) {
-    if (count_ % kChunk == 0) {
+    const std::size_t chunk = count_ / kChunk;
+    if (chunk == chunks_.size()) {
       chunks_.push_back(std::make_unique<T[]>(kChunk));
       prof::note_arena_alloc(kChunk * sizeof(T));
     }
-    T& slot = chunks_.back()[count_ % kChunk];
+    T& slot = chunks_[chunk][count_ % kChunk];
     slot = value;
     ++count_;
     return slot;
@@ -55,6 +56,11 @@ class ChunkedColumn {
     return chunks_[i / kChunk][i % kChunk];
   }
   [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] std::size_t chunk_count() const { return chunks_.size(); }
+
+  /// Keep-capacity clear: the next fill overwrites the retained chunks in
+  /// place, allocating only past the previous high-water mark.
+  void reset() { count_ = 0; }
 
  private:
   std::vector<std::unique_ptr<T[]>> chunks_;
@@ -108,6 +114,18 @@ class CaptureStore {
 
   /// Arena statistics (bytes stored, chunk count) for benchmarks/telemetry.
   [[nodiscard]] const FrameStore& arena() const { return arena_; }
+
+  /// Row-table chunk count (with the arena's chunk_count(), the chunk-churn
+  /// observables the recycling tests assert on).
+  [[nodiscard]] std::size_t row_chunk_count() const {
+    return rows_.chunk_count();
+  }
+
+  /// Keep-capacity clear: rewinds the arena and every column while retaining
+  /// their chunks, so a recycled store (fleet household contexts) re-fills
+  /// without reallocating. Every previously returned view is invalidated.
+  /// Republishes the arena occupancy gauges.
+  void reset();
 
  private:
   /// Per-packet row: the Ethernet layer inline (always present) plus one

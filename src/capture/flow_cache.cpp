@@ -318,4 +318,14 @@ void FlowCache::flush() {
   publish_gauges();
 }
 
+void FlowCache::reset() {
+  flush();
+  // flush() already unlinked every node into the free list; node reuse order
+  // is unobservable (bucket-chain position never affects emitted records),
+  // so a recycled cache reproduces a fresh one's output exactly.
+  stats_ = FlowCacheStats{};
+  next_seq_ = 0;
+  publish_gauges();
+}
+
 }  // namespace roomnet

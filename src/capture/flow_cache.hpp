@@ -126,6 +126,12 @@ class FlowCache {
   /// empties the cache. Idempotent.
   void flush();
 
+  /// flush() + zeroed statistics and sequence counter: a recycled cache
+  /// (fleet household contexts) starts its next capture indistinguishable
+  /// from a fresh one, while the node pool, free list, and bucket array keep
+  /// their allocations.
+  void reset();
+
   [[nodiscard]] const FlowCacheStats& stats() const { return stats_; }
   [[nodiscard]] const FlowCacheConfig& config() const { return config_; }
   /// Completed flows so far: prunes of every reason, including flush.

@@ -26,4 +26,12 @@ inline constexpr const char* kAll[] = {
     kApps,    kCrowd, kDegraded,     kWatch,
 };
 
+/// Fleet-driver phases (roomnet::fleet): recorded by `roomnet-fleet run`'s
+/// perf.json, not by pipeline runs, so they stay out of kAll. kFleetRun
+/// brackets the sharded household sweep (sim + per-household analysis on the
+/// workers), kFleetReduce the sequential ordered reduction and manifest
+/// folding.
+inline constexpr const char* kFleetRun = "fleet_run";
+inline constexpr const char* kFleetReduce = "fleet_reduce";
+
 }  // namespace roomnet::stages

@@ -23,70 +23,59 @@ std::set<ExtractedIdentifier> device_identifiers(const InspectorDevice& device) 
   return out;
 }
 
-FingerprintAnalysis fingerprint_households(const InspectorDataset& dataset,
-                                           exec::TaskPool& pool) {
+void FingerprintAccumulator::add(const DeviceFingerprintRow& row) {
   // Table 2's grouping: devices partition into rows by the identifier-type
   // combination THEIR OWN payloads expose; a household is counted in every
   // row for which it owns at least one such device (which is why the
   // paper's per-row household counts sum past 3,860 while the device counts
   // sum to exactly 12,669).
-  struct DeviceView {
-    std::size_t household = 0;
-    std::size_t product = 0;
-    ExposureClass types;
-    std::set<ExtractedIdentifier> ids;
-  };
-  // Per-device payload parsing is independent; shard it, keeping each view
-  // in its input slot. Everything downstream (grouping, fingerprints,
-  // entropy — the floating-point part) runs sequentially over that ordered
-  // vector, so the result never depends on the worker count.
-  const std::vector<DeviceView> device_views = exec::parallel_map(
-      pool, dataset.devices.size(), [&](std::size_t i) {
-        const InspectorDevice& device = dataset.devices[i];
-        DeviceView view;
-        view.household = device.household;
-        view.product = device.product_index;
-        view.ids = device_identifiers(device);
-        for (const auto& id : view.ids) {
-          switch (id.type) {
-            case IdentifierType::kName: view.types.name = true; break;
-            case IdentifierType::kUuid: view.types.uuid = true; break;
-            case IdentifierType::kMacAddress: view.types.mac = true; break;
-          }
-        }
-        return view;
-      });
+  ExposureClass types;
+  for (const auto& id : row.ids) {
+    switch (id.type) {
+      case IdentifierType::kName: types.name = true; break;
+      case IdentifierType::kUuid: types.uuid = true; break;
+      case IdentifierType::kMacAddress: types.mac = true; break;
+    }
+  }
+  ClassState& state = classes_[types];
+  state.products.insert(row.product);
+  state.vendors.insert(row.vendor);
+  ++state.devices;
+  // Household fingerprint: the sorted identifier multiset of its devices in
+  // this class, concatenated in feed order.
+  std::string& fp = state.fingerprints[row.household];
+  for (const auto& id : row.ids) fp += to_string(id.type) + ":" + id.value + ";";
+  households_per_count_[types.count()].insert(row.household);
+}
 
-  std::map<ExposureClass, std::vector<const DeviceView*>> by_class;
-  for (const auto& view : device_views) by_class[view.types].push_back(&view);
+void FingerprintAccumulator::merge(const FingerprintAccumulator& other) {
+  for (const auto& [types, state] : other.classes_) {
+    ClassState& dst = classes_[types];
+    dst.products.insert(state.products.begin(), state.products.end());
+    dst.vendors.insert(state.vendors.begin(), state.vendors.end());
+    dst.devices += state.devices;
+    for (const auto& [household, fp] : state.fingerprints)
+      dst.fingerprints[household] += fp;
+  }
+  for (const auto& [count, households] : other.households_per_count_)
+    households_per_count_[count].insert(households.begin(), households.end());
+}
 
+FingerprintAnalysis FingerprintAccumulator::finish() const {
   FingerprintAnalysis analysis;
-  for (const auto& [types, members] : by_class) {
+  for (const auto& [types, state] : classes_) {
     FingerprintRow row;
     row.types = types;
     row.type_count = types.count();
-    row.devices = members.size();
-
-    std::set<std::size_t> products;
-    std::set<std::string> vendors;
-    // Household fingerprint: the sorted identifier multiset of its devices
-    // in this class.
-    std::map<std::size_t, std::string> fingerprints;
-    for (const DeviceView* view : members) {
-      products.insert(view->product);
-      vendors.insert(dataset.products[view->product].vendor);
-      std::string& fp = fingerprints[view->household];
-      for (const auto& id : view->ids)
-        fp += to_string(id.type) + ":" + id.value + ";";
-    }
-    row.products = products.size();
-    row.vendors = vendors.size();
-    row.households = fingerprints.size();
+    row.devices = state.devices;
+    row.products = state.products.size();
+    row.vendors = state.vendors.size();
+    row.households = state.fingerprints.size();
 
     if (types.count() > 0) {
       std::map<std::string, std::size_t> counts;
-      for (const auto& [household, fp] : fingerprints) ++counts[fp];
-      for (const auto& [household, fp] : fingerprints)
+      for (const auto& [household, fp] : state.fingerprints) ++counts[fp];
+      for (const auto& [household, fp] : state.fingerprints)
         if (counts[fp] == 1) ++row.uniquely_identified;
       row.entropy_bits =
           counts.empty() ? 0 : std::log2(static_cast<double>(counts.size()));
@@ -101,7 +90,6 @@ FingerprintAnalysis fingerprint_households(const InspectorDataset& dataset,
 
   // Aggregates per type_count (the paper's per-# summary columns).
   std::map<int, FingerprintRow> totals;
-  std::map<int, std::set<std::size_t>> households_per_count;
   for (const auto& row : analysis.rows) {
     auto& total = totals[row.type_count];
     total.type_count = row.type_count;
@@ -111,13 +99,34 @@ FingerprintAnalysis fingerprint_households(const InspectorDataset& dataset,
     total.uniquely_identified += row.uniquely_identified;
     total.entropy_bits = std::max(total.entropy_bits, row.entropy_bits);
   }
-  for (const auto& view : device_views)
-    households_per_count[view.types.count()].insert(view.household);
   for (auto& [count, total] : totals) {
-    total.households = households_per_count[count].size();
+    const auto it = households_per_count_.find(count);
+    total.households = it == households_per_count_.end() ? 0 : it->second.size();
     analysis.by_count.push_back(total);
   }
   return analysis;
+}
+
+FingerprintAnalysis fingerprint_households(const InspectorDataset& dataset,
+                                           exec::TaskPool& pool) {
+  // Per-device payload parsing is independent; shard it, keeping each row
+  // in its input slot. Everything downstream (the accumulator's grouping,
+  // fingerprints, entropy — the floating-point part) runs sequentially over
+  // that ordered vector, so the result never depends on the worker count.
+  const std::vector<DeviceFingerprintRow> rows = exec::parallel_map(
+      pool, dataset.devices.size(), [&](std::size_t i) {
+        const InspectorDevice& device = dataset.devices[i];
+        DeviceFingerprintRow row;
+        row.household = device.household;
+        row.product = device.product_index;
+        row.vendor = dataset.products[device.product_index].vendor;
+        row.ids = device_identifiers(device);
+        return row;
+      });
+
+  FingerprintAccumulator accumulator;
+  for (const auto& row : rows) accumulator.add(row);
+  return accumulator.finish();
 }
 
 FingerprintAnalysis fingerprint_households(const InspectorDataset& dataset) {

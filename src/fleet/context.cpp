@@ -1,0 +1,48 @@
+#include "fleet/context.hpp"
+
+#include "telemetry/metrics.hpp"
+
+namespace roomnet::fleet {
+
+ContextPool::ContextPool(FlowCacheConfig cache_config)
+    : cache_config_(cache_config) {
+  auto& registry = telemetry::Registry::global();
+  created_counter_ = &registry.counter("roomnet_fleet_contexts_created_total");
+  reuse_counter_ = &registry.counter("roomnet_fleet_context_reuse_total");
+}
+
+ContextPool::Lease ContextPool::acquire() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_.empty()) {
+      std::unique_ptr<HouseholdContext> context = std::move(free_.back());
+      free_.pop_back();
+      ++reuses_;
+      reuse_counter_->inc();
+      return Lease(this, std::move(context));
+    }
+    ++created_;
+  }
+  created_counter_->inc();
+  // Construction outside the lock: a fresh context allocates (gauges,
+  // cache buckets) and other shards need not wait for it.
+  return Lease(this, std::make_unique<HouseholdContext>(cache_config_));
+}
+
+void ContextPool::release(std::unique_ptr<HouseholdContext> context) {
+  if (context == nullptr) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  free_.push_back(std::move(context));
+}
+
+std::uint64_t ContextPool::contexts_created() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return created_;
+}
+
+std::uint64_t ContextPool::reuses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return reuses_;
+}
+
+}  // namespace roomnet::fleet

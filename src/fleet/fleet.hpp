@@ -1,0 +1,129 @@
+// roomnet::fleet — the household-fleet driver. Samples `households` whole
+// households from the testbed catalog (each independently reproducible from
+// the fleet seed + its index), runs each one's sim + analysis as a
+// self-contained unit on a recycled HouseholdContext, shards households
+// across the exec TaskPool in contiguous shards, and reduces the compact
+// per-household rows into fleet-level aggregates sequentially, in index
+// order.
+//
+// Determinism contract (FleetThreadInvariance / FleetShardInvariance):
+// every household's row depends only on (fleet seed, index, household
+// config); shard boundaries decide only which worker computes which rows,
+// never their content or their merge order; the reducer is sequential over
+// rows 0..N-1. So the aggregates, the manifest, and both JSON artifacts are
+// byte-identical for any thread count and any shard size — which is why
+// neither appears in fleet_config_digest.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "crowd/entropy.hpp"
+#include "fleet/household.hpp"
+
+namespace roomnet::exec {
+class TaskPool;
+}  // namespace roomnet::exec
+
+namespace roomnet::fleet {
+
+struct FleetConfig {
+  std::uint64_t seed = 42;
+  std::uint64_t households = 1000;
+  /// Worker parallelism (0 = TaskPool::default_threads()). Excluded from
+  /// the config digest: it must never change results.
+  std::size_t threads = 0;
+  /// Households per shard. 64 keeps scheduling overhead (one context lease
+  /// + one queue round-trip per shard) under 2% of shard work while still
+  /// load-balancing a 10k-household fleet across any sane worker count.
+  /// Also digest-excluded: shard boundaries must never change results.
+  std::size_t shard_size = 64;
+  HouseholdConfig household;
+};
+
+/// Device- and household-level counts for one aggregate key.
+struct LabelStats {
+  std::uint64_t devices = 0;
+  std::uint64_t households = 0;
+};
+
+/// Fleet-level reductions: the paper's testbed tables re-derived as
+/// prevalence over a sampled fleet instead of one 93-device lab.
+struct FleetAggregates {
+  std::uint64_t households = 0;
+  std::uint64_t devices = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t flows = 0;
+  std::uint64_t bytes = 0;
+  /// Device-count histogram over households.
+  std::map<std::size_t, std::uint64_t> household_sizes;
+  std::map<std::string, std::uint64_t> devices_by_vendor;
+  /// Figure 2 at fleet scale: per-protocol device and household prevalence.
+  std::map<ProtocolLabel, LabelStats> protocols;
+  /// Table 1 at fleet scale: (protocol, data type) exposure prevalence.
+  std::map<std::pair<ProtocolLabel, ExposedData>, LabelStats> exposure;
+  /// Devices answering on an open plaintext control/legacy surface
+  /// (TP-Link SHP, Tuya LP, Telnet, or HTTP) — the vuln-exposure count.
+  LabelStats open_surface;
+  /// Table 2 at fleet scale, fed incrementally through
+  /// FingerprintAccumulator from the per-household identifier sets.
+  FingerprintAnalysis fingerprints;
+};
+
+/// Fleet provenance: one root over every household row. Byte-identical
+/// across thread counts and shard sizes (CI compares the serialized file
+/// with `cmp`).
+struct FleetManifest {
+  int schema = 1;
+  std::uint64_t seed = 0;
+  std::uint64_t households = 0;
+  /// Canonical digest of the result-determining FleetConfig fields
+  /// (threads and shard_size excluded by contract).
+  std::string config_digest;
+  /// SHA-256 over the ordered per-household row hashes.
+  std::string households_root;
+  /// SHA-256 over the canonical aggregates JSON.
+  std::string aggregates_sha256;
+  /// Digest over (config_digest, households_root, aggregates_sha256).
+  std::string result_digest;
+};
+
+/// Volatile run accounting (never part of the manifest).
+struct FleetStats {
+  double wall_s = 0;
+  double households_per_sec = 0;
+  std::uint64_t contexts_created = 0;
+  std::uint64_t context_reuses = 0;
+  std::size_t threads = 0;
+  std::int64_t peak_rss_kb = 0;
+};
+
+struct FleetResults {
+  FleetAggregates aggregates;
+  FleetManifest manifest;
+  FleetStats stats;
+  /// Per-household row hashes in index order (the manifest's leaves) —
+  /// FleetSeedIndependence compares entry k against a standalone
+  /// run_household(k).
+  std::vector<std::string> household_hashes;
+};
+
+/// Canonical digest of the result-determining config fields.
+[[nodiscard]] std::string fleet_config_digest(const FleetConfig& config);
+
+/// Runs the fleet on `pool`. Profiler stages: stages::kFleetRun brackets the
+/// sharded sweep, stages::kFleetReduce the sequential reduction.
+[[nodiscard]] FleetResults run_fleet(const FleetConfig& config,
+                                     exec::TaskPool& pool);
+/// Convenience overload: builds a TaskPool(config.threads).
+[[nodiscard]] FleetResults run_fleet(const FleetConfig& config);
+
+/// Canonical JSON (fixed field order, no whitespace variance): equal
+/// aggregates/manifests serialize to equal bytes.
+[[nodiscard]] std::string to_json(const FleetAggregates& aggregates);
+[[nodiscard]] std::string to_json(const FleetManifest& manifest);
+
+}  // namespace roomnet::fleet

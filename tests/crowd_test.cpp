@@ -190,6 +190,95 @@ TEST_F(DatasetFixture, EntropyIsLogOfDistinctValues) {
   }
 }
 
+TEST_F(DatasetFixture, AccumulatorFedIncrementallyMatchesWrapper) {
+  // The fleet reducer feeds DeviceFingerprintRows one at a time; the
+  // dataset wrapper must be a thin shell over the same accumulator. Build
+  // the rows by hand (exactly what the wrapper does internally) and compare
+  // every field of every row, entropy doubles included.
+  FingerprintAccumulator accumulator;
+  for (const auto& device : dataset_->devices) {
+    DeviceFingerprintRow row;
+    row.household = device.household;
+    row.product = device.product_index;
+    row.vendor = dataset_->products[device.product_index].vendor;
+    row.ids = device_identifiers(device);
+    accumulator.add(row);
+  }
+  const FingerprintAnalysis incremental = accumulator.finish();
+  const FingerprintAnalysis wrapped = fingerprint_households(*dataset_);
+
+  const auto expect_equal_rows = [](const std::vector<FingerprintRow>& a,
+                                    const std::vector<FingerprintRow>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].types, b[i].types) << "row " << i;
+      EXPECT_EQ(a[i].type_count, b[i].type_count) << "row " << i;
+      EXPECT_EQ(a[i].products, b[i].products) << "row " << i;
+      EXPECT_EQ(a[i].vendors, b[i].vendors) << "row " << i;
+      EXPECT_EQ(a[i].devices, b[i].devices) << "row " << i;
+      EXPECT_EQ(a[i].households, b[i].households) << "row " << i;
+      EXPECT_EQ(a[i].uniquely_identified, b[i].uniquely_identified)
+          << "row " << i;
+      EXPECT_EQ(a[i].entropy_bits, b[i].entropy_bits) << "row " << i;
+    }
+  };
+  expect_equal_rows(incremental.rows, wrapped.rows);
+  expect_equal_rows(incremental.by_count, wrapped.by_count);
+
+  // finish() is non-destructive: accumulating more afterwards still works.
+  DeviceFingerprintRow extra;
+  extra.household = 999999;
+  extra.product = 0;
+  extra.vendor = "ExtraVendor";
+  extra.ids = {{IdentifierType::kUuid, "0000-extra"}};
+  accumulator.add(extra);
+  const FingerprintAnalysis grown = accumulator.finish();
+  std::size_t devices_before = 0, devices_after = 0;
+  for (const auto& row : wrapped.rows) devices_before += row.devices;
+  for (const auto& row : grown.rows) devices_after += row.devices;
+  EXPECT_EQ(devices_after, devices_before + 1);
+}
+
+TEST_F(DatasetFixture, AccumulatorMergeOfShardPartialsMatchesOneFeed) {
+  // The fleet reducer splits households across shard-local accumulators and
+  // merges them in shard order. Partition this dataset's devices by
+  // household parity (households never span shards, matching the fleet's
+  // contract), merge, and demand field-for-field equality with a single
+  // sequential feed — entropy doubles included.
+  FingerprintAccumulator sequential, even, odd;
+  for (const auto& device : dataset_->devices) {
+    DeviceFingerprintRow row;
+    row.household = device.household;
+    row.product = device.product_index;
+    row.vendor = dataset_->products[device.product_index].vendor;
+    row.ids = device_identifiers(device);
+    sequential.add(row);
+    (device.household % 2 == 0 ? even : odd).add(row);
+  }
+  FingerprintAccumulator merged;
+  merged.merge(even);
+  merged.merge(odd);
+  const FingerprintAnalysis expected = sequential.finish();
+  const FingerprintAnalysis actual = merged.finish();
+
+  const auto expect_equal_rows = [](const std::vector<FingerprintRow>& a,
+                                    const std::vector<FingerprintRow>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].types, b[i].types) << "row " << i;
+      EXPECT_EQ(a[i].products, b[i].products) << "row " << i;
+      EXPECT_EQ(a[i].vendors, b[i].vendors) << "row " << i;
+      EXPECT_EQ(a[i].devices, b[i].devices) << "row " << i;
+      EXPECT_EQ(a[i].households, b[i].households) << "row " << i;
+      EXPECT_EQ(a[i].uniquely_identified, b[i].uniquely_identified)
+          << "row " << i;
+      EXPECT_EQ(a[i].entropy_bits, b[i].entropy_bits) << "row " << i;
+    }
+  };
+  expect_equal_rows(expected.rows, actual.rows);
+  expect_equal_rows(expected.by_count, actual.by_count);
+}
+
 // --------------------------------------------------------------- inference
 
 TEST_F(DatasetFixture, InferenceRecoversVendorsFromMetadata) {

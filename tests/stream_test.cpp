@@ -119,6 +119,41 @@ TEST(StreamFlowCache, CondensesBidirectionalFlowAndFlushes) {
   EXPECT_EQ(log.records.size(), 1u);
 }
 
+TEST(StreamFlowCache, ResetZeroesStatsAndReproducesAFreshCache) {
+  const Ipv4Address a(192, 168, 10, 5), b(192, 168, 10, 6);
+  RecordLog log;
+  FlowCache cache({}, log.sink());
+
+  const auto feed = [&cache, &a, &b] {
+    for (int i = 0; i < 20; ++i) {
+      const Packet p = udp_packet(a, static_cast<std::uint16_t>(5000 + i), b,
+                                  80, "req");
+      cache.add(SimTime::from_ms(i), as_view(p));
+    }
+    cache.flush();
+  };
+  feed();
+  const std::size_t first_records = log.records.size();
+  ASSERT_EQ(first_records, 20u);
+
+  cache.reset();
+  EXPECT_EQ(cache.stats().flows_created, 0u);
+  EXPECT_EQ(cache.stats().packets, 0u);
+  EXPECT_EQ(cache.stats().active_flows, 0u);
+  EXPECT_EQ(cache.stats().peak_bytes, 0u);
+
+  // A recycled cache behaves exactly like a fresh one: same records, same
+  // creation-order emission, same stats (node reuse order is unobservable).
+  feed();
+  ASSERT_EQ(log.records.size(), 2 * first_records);
+  EXPECT_EQ(cache.stats().flows_created, 20u);
+  for (std::size_t i = 0; i < first_records; ++i) {
+    EXPECT_EQ(log.records[first_records + i].key,
+              log.records[i].key) << "record " << i;
+    EXPECT_EQ(log.records[first_records + i].packets, log.records[i].packets);
+  }
+}
+
 TEST(StreamFlowCache, ToFlowMatchesBatchFlowOnClassifierInputs) {
   const Ipv4Address a(192, 168, 10, 5), b(192, 168, 10, 6);
   const Packet req = udp_packet(a, 5000, b, 80, "question");
